@@ -1,0 +1,78 @@
+// Command cldiam estimates the weighted diameter of a graph with the
+// paper's CL-DIAM algorithm (cluster decomposition + quotient diameter).
+//
+// Usage:
+//
+//	cldiam -graph road.gr -workers 8
+//	cldiam -spec mesh:512 -tau 500 -verify
+//
+// -verify additionally computes the iterated-sweep lower bound and prints
+// the approximation ratio against it (as in the paper's Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphdiam/cmd/internal/cli"
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/core"
+	"graphdiam/internal/validate"
+)
+
+func main() {
+	var (
+		path     = flag.String("graph", "", "input graph file (.gr, .bin, or edge list)")
+		spec     = flag.String("spec", "", "generator spec (e.g. mesh:256, rmat:14, road:128, roads:4:64)")
+		workers  = flag.Int("workers", 0, "parallel workers / simulated machines (0 = all cores)")
+		tau      = flag.Int("tau", 0, "decomposition parameter τ (0 = derive from -quotient)")
+		quotient = flag.Int("quotient", 2000, "target quotient size when τ is derived")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		stepCap  = flag.Int("stepcap", 0, "cap on growing steps per PartialGrowth (0 = unlimited)")
+		initMin  = flag.Bool("delta-min", false, "start Δ at the minimum edge weight instead of the average")
+		cluster2 = flag.Bool("cluster2", false, "use CLUSTER2 instead of CLUSTER")
+		verify   = flag.Bool("verify", false, "also compute a diameter lower bound and report the ratio")
+		sweeps   = flag.Int("sweeps", 4, "lower-bound sweeps for -verify")
+	)
+	flag.Parse()
+
+	g, err := cli.Load(*path, *spec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cldiam:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: n=%d m=%d avg-weight=%.4g\n", g.NumNodes(), g.NumEdges(), g.AvgEdgeWeight())
+
+	t := *tau
+	if t <= 0 {
+		t = core.TauForQuotientTarget(g.NumNodes(), *quotient)
+	}
+	opts := core.DiamOptions{
+		Options: core.Options{
+			Tau:     t,
+			Seed:    *seed,
+			StepCap: *stepCap,
+			Engine:  bsp.New(*workers),
+		},
+		UseCluster2: *cluster2,
+	}
+	if *initMin {
+		opts.InitialDelta = core.DeltaMinWeight
+	}
+
+	res := core.ApproxDiameter(g, opts)
+	fmt.Printf("estimate:  %.6g\n", res.Estimate)
+	fmt.Printf("radius:    %.6g   quotient-diameter: %.6g\n", res.Radius, res.QuotientDiameter)
+	fmt.Printf("clusters:  %d (quotient: %d nodes, %d edges)\n",
+		res.Clustering.NumClusters(), res.QuotientNodes, res.QuotientEdges)
+	fmt.Printf("stages:    %d   growing-steps: %d   delta-end: %.6g\n",
+		res.Clustering.Stages, res.Clustering.GrowingSteps, res.Clustering.DeltaEnd)
+	fmt.Printf("cost:      %s\n", res.Metrics)
+	fmt.Printf("wall time: %s\n", res.WallTime)
+
+	if *verify {
+		lb, _ := validate.LowerBound(g, 0, *sweeps)
+		fmt.Printf("lower bound (%d sweeps): %.6g   ratio: %.4f\n", *sweeps, lb, res.Estimate/lb)
+	}
+}

@@ -1,0 +1,117 @@
+// Command gen generates benchmark graphs in the formats understood by the
+// other graphdiam tools.
+//
+// Usage:
+//
+//	gen -family mesh -size 512 -weights uniform -out mesh.gr
+//	gen -family rmat -size 16 -weights uniform -format bin -out rmat16.bin
+//	gen -family road -size 256 -out road.gr
+//	gen -family roads-product -size 64 -layers 4 -out roads4.gr
+//
+// Families: mesh (size = side), torus (side), rmat (size = scale),
+// road (side), roads-product (side, -layers), gnm (size = nodes, -edges),
+// path, cycle (size = nodes).
+//
+// Weights: original (generator weights), uniform ((0,1] i.i.d.),
+// integral (-maxw), bimodal (-light/-heavy/-pheavy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/gio"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "mesh", "graph family: mesh|torus|rmat|road|roads-product|gnm|path|cycle")
+		size    = flag.Int("size", 64, "family size parameter (side, scale, or node count)")
+		layers  = flag.Int("layers", 2, "roads-product: number of layers")
+		edges   = flag.Int("edges", 0, "gnm: edge count (default 8n)")
+		weights = flag.String("weights", "original", "weight assignment: original|uniform|integral|bimodal")
+		maxw    = flag.Int("maxw", 100, "integral weights: maximum")
+		light   = flag.Float64("light", 1e-6, "bimodal weights: light value")
+		heavy   = flag.Float64("heavy", 1, "bimodal weights: heavy value")
+		pheavy  = flag.Float64("pheavy", 0.1, "bimodal weights: heavy probability")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		format  = flag.String("format", "gr", "output format: gr|edgelist|bin|metis")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var g *graph.Graph
+	switch *family {
+	case "mesh":
+		g = gen.Mesh(*size)
+	case "torus":
+		g = gen.Torus(*size)
+	case "rmat":
+		g = gen.RMatDefault(*size, r)
+	case "road":
+		g = gen.RoadNetwork(gen.DefaultRoadNetworkOptions(*size), r)
+	case "roads-product":
+		g = gen.Roads(*layers, *size, r)
+	case "gnm":
+		m := *edges
+		if m <= 0 {
+			m = 8 * *size
+		}
+		g = gen.GNM(*size, m, r)
+	case "path":
+		g = gen.Path(*size)
+	case "cycle":
+		g = gen.Cycle(*size)
+	default:
+		fatal("unknown family %q", *family)
+	}
+
+	switch *weights {
+	case "original":
+	case "uniform":
+		g = gen.UniformWeights(g, r)
+	case "integral":
+		g = gen.IntegralUniformWeights(g, *maxw, r)
+	case "bimodal":
+		g = gen.BimodalWeights(g, *light, *heavy, *pheavy, r)
+	default:
+		fatal("unknown weights %q", *weights)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "gr":
+		err = gio.WriteDIMACS(w, g)
+	case "edgelist":
+		err = gio.WriteEdgeList(w, g)
+	case "bin":
+		err = gio.WriteBinary(w, g)
+	case "metis":
+		err = gio.WriteMETIS(w, g)
+	default:
+		fatal("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d\n", *family, g.NumNodes(), g.NumEdges())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Δ-sensitivity: the Section 5 experiment showing why the initial growth
+// threshold matters. On a mesh with bimodal weights (a few heavy edges in a
+// sea of near-zero ones), starting Δ at the minimum edge weight lets the
+// doubling strategy self-tune and clusters never swallow heavy edges
+// (ratio ≈ 1); starting Δ at the graph diameter bakes heavy edges into
+// clusters and inflates the radius (paper: ratio ≈ 2.5). The average
+// weight — the library default — is a safe starting guess.
+package main
+
+import (
+	"fmt"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/core"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/rng"
+	"graphdiam/internal/validate"
+)
+
+func main() {
+	r := rng.New(77)
+	g := gen.BimodalWeights(gen.Mesh(64), 1e-6, 1, 0.25, r)
+	fmt.Printf("bimodal mesh: n=%d m=%d (heavy=1 w.p. 0.25, light=1e-6)\n",
+		g.NumNodes(), g.NumEdges())
+
+	exact := validate.ExactDiameter(g, bsp.New(0))
+	fmt.Printf("exact diameter: %.6f\n\n", exact)
+
+	run := func(name string, init core.DeltaInit, fixed float64) {
+		res := core.ApproxDiameter(g, core.DiamOptions{
+			Options: core.Options{
+				Tau: 256, Seed: 1,
+				InitialDelta: init, FixedDelta: fixed,
+			},
+		})
+		fmt.Printf("%-22s estimate=%-12.6f ratio=%-8.4f radius=%-10.4g rounds=%d\n",
+			name, res.Estimate, res.Estimate/exact, res.Radius, res.Metrics.Rounds)
+	}
+	run("delta = min weight", core.DeltaMinWeight, 0)
+	run("delta = avg weight", core.DeltaAvgWeight, 0)
+	run("delta = diameter", core.DeltaFixed, exact)
+
+	fmt.Println("\npaper (mesh 2048²): min-weight start gives ratio 1.0001,")
+	fmt.Println("diameter-sized start gives ratio ~2.5.")
+}

@@ -1,0 +1,54 @@
+// Scaling study: CL-DIAM wall time as the number of workers (simulated
+// machines) grows — the experiment behind the paper's Figure 4, run on an
+// R-MAT graph and a roads-product graph of comparable size but very
+// different topology.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/cc"
+	"graphdiam/internal/core"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+func run(name string, g *graph.Graph, workerCounts []int) {
+	fmt.Printf("%s: n=%d m=%d\n", name, g.NumNodes(), g.NumEdges())
+	tau := core.TauForQuotientTarget(g.NumNodes(), 2000)
+	var base time.Duration
+	for _, w := range workerCounts {
+		// Simulated engine: workers execute sequentially and the critical
+		// path (sum of per-superstep maxima) is the parallel compute time
+		// a w-machine cluster would pay — meaningful even on a 1-core host.
+		e := bsp.NewSimulated(w)
+		res := core.ApproxDiameter(g, core.DiamOptions{
+			Options: core.Options{Tau: tau, Seed: 3, Engine: e},
+		})
+		sim := e.CriticalPath()
+		if base == 0 {
+			base = sim
+		}
+		fmt.Printf("  workers=%-3d sim-time=%-12s speedup=%.2fx estimate=%.4g\n",
+			w, sim.Round(time.Millisecond), float64(base)/float64(sim),
+			res.Estimate)
+	}
+	fmt.Println()
+}
+
+func main() {
+	r := rng.New(4)
+	workers := []int{1, 2, 4, 8, 16}
+
+	rmat, _ := cc.LargestComponent(gen.RMatDefault(14, r.Split()))
+	run("R-MAT(14)", gen.UniformWeights(rmat, r.Split()), workers)
+
+	roads := gen.Roads(3, 64, r.Split())
+	run("roads(3)", roads, workers)
+
+	fmt.Println("The estimate is identical at every worker count: the")
+	fmt.Println("decomposition is deterministic in (graph, seed) by design.")
+}

@@ -1,0 +1,188 @@
+package main
+
+// End-to-end integration tests spanning the full pipeline the tools use:
+// generate → serialize → reload → decompose → estimate → validate, plus
+// cross-implementation agreement checks. These complement the per-package
+// unit tests by exercising module boundaries exactly as cmd/cldiam does.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/cc"
+	"graphdiam/internal/core"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/gio"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/mrcluster"
+	"graphdiam/internal/quotient"
+	"graphdiam/internal/rng"
+	"graphdiam/internal/sssp"
+	"graphdiam/internal/validate"
+)
+
+// TestPipelineGenerateSerializeEstimate drives the full user pipeline
+// through every serialization format.
+func TestPipelineGenerateSerializeEstimate(t *testing.T) {
+	r := rng.New(71)
+	orig := gen.RoadNetwork(gen.DefaultRoadNetworkOptions(20), r)
+
+	type codec struct {
+		write func(*bytes.Buffer, *graph.Graph) error
+		read  func(*bytes.Buffer) (*graph.Graph, error)
+	}
+	codecs := map[string]codec{
+		"dimacs": {
+			func(b *bytes.Buffer, g *graph.Graph) error { return gio.WriteDIMACS(b, g) },
+			func(b *bytes.Buffer) (*graph.Graph, error) { return gio.ReadDIMACS(b) },
+		},
+		"edgelist": {
+			func(b *bytes.Buffer, g *graph.Graph) error { return gio.WriteEdgeList(b, g) },
+			func(b *bytes.Buffer) (*graph.Graph, error) { return gio.ReadEdgeList(b) },
+		},
+		"binary": {
+			func(b *bytes.Buffer, g *graph.Graph) error { return gio.WriteBinary(b, g) },
+			func(b *bytes.Buffer) (*graph.Graph, error) { return gio.ReadBinary(b) },
+		},
+		"metis": {
+			func(b *bytes.Buffer, g *graph.Graph) error { return gio.WriteMETIS(b, g) },
+			func(b *bytes.Buffer) (*graph.Graph, error) { return gio.ReadMETIS(b) },
+		},
+	}
+
+	want := core.ApproxDiameter(orig, core.DiamOptions{Options: core.Options{Tau: 16, Seed: 9}})
+	for name, c := range codecs {
+		var buf bytes.Buffer
+		if err := c.write(&buf, orig); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		loaded, err := c.read(&buf)
+		if err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		got := core.ApproxDiameter(loaded, core.DiamOptions{Options: core.Options{Tau: 16, Seed: 9}})
+		if got.Estimate != want.Estimate {
+			t.Fatalf("%s: estimate after round-trip %v != %v", name, got.Estimate, want.Estimate)
+		}
+	}
+}
+
+// TestThreeDecompositionsConservative runs all three decompositions through
+// the full quotient pipeline on one graph and checks the shared invariant.
+func TestThreeDecompositionsConservative(t *testing.T) {
+	r := rng.New(72)
+	g := gen.UniformWeights(gen.Mesh(14), r)
+	exact := validate.ExactDiameter(g, bsp.New(0))
+	for name, opts := range map[string]core.DiamOptions{
+		"cluster":   {Options: core.Options{Tau: 8, Seed: 3}},
+		"cluster2":  {Options: core.Options{Tau: 8, Seed: 3}, UseCluster2: true},
+		"oblivious": {Options: core.Options{Tau: 8, Seed: 3}, WeightOblivious: true},
+	} {
+		res := core.ApproxDiameter(g, opts)
+		if res.Estimate+1e-9 < exact {
+			t.Fatalf("%s: estimate %v below exact %v", name, res.Estimate, exact)
+		}
+		if err := res.Clustering.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestQuotientEstimateIsUpperBoundStructurally rebuilds the estimate from
+// raw parts (clustering → quotient → diameter) and verifies each step's
+// contract on a disconnected graph, the trickiest case.
+func TestQuotientEstimateIsUpperBoundStructurally(t *testing.T) {
+	r := rng.New(73)
+	// Two mesh components of different sizes.
+	b := graph.NewBuilder(16*16+8*8, 0)
+	m1 := gen.UniformWeights(gen.Mesh(16), r)
+	m2 := gen.UniformWeights(gen.Mesh(8), r)
+	m1.ForEachEdge(func(u, v graph.NodeID, w float64) { b.AddEdge(u, v, w) })
+	off := graph.NodeID(16 * 16)
+	m2.ForEachEdge(func(u, v graph.NodeID, w float64) { b.AddEdge(off+u, off+v, w) })
+	g := b.Build()
+	if cc.IsConnected(g) {
+		t.Fatal("test graph should be disconnected")
+	}
+
+	cl := core.Cluster(g, core.Options{Tau: 8, Seed: 1})
+	q, centers := quotient.Build(g, cl.Center, cl.Dist, bsp.New(2))
+	if q.NumNodes() != cl.NumClusters() || len(centers) != cl.NumClusters() {
+		t.Fatalf("quotient size %d vs clusters %d", q.NumNodes(), cl.NumClusters())
+	}
+	qd := quotient.Diameter(q, bsp.New(2), quotient.DiameterOptions{})
+	estimate := qd + 2*cl.Radius
+	exact := validate.ExactDiameter(g, bsp.New(0))
+	if estimate+1e-9 < exact {
+		t.Fatalf("structural estimate %v below exact %v", estimate, exact)
+	}
+}
+
+// TestBaselineAgainstAllSSSP ensures the Δ-stepping baseline and every
+// exact SSSP implementation agree on the benchmark families end to end.
+func TestBaselineAgainstAllSSSP(t *testing.T) {
+	r := rng.New(74)
+	graphs := []*graph.Graph{
+		gen.RoadNetwork(gen.DefaultRoadNetworkOptions(16), r),
+		gen.UniformWeights(largest(gen.RMatDefault(9, r)), r),
+		gen.UniformWeights(gen.Hypercube(8), r),
+		gen.UniformWeights(gen.BarabasiAlbert(300, 3, r), r),
+	}
+	for gi, g := range graphs {
+		src := graph.NodeID(g.NumNodes() / 3)
+		want := sssp.Dijkstra(g, src)
+		ds := sssp.DeltaStepping(g, src, sssp.SuggestDelta(g), bsp.New(3))
+		for i := range want {
+			if math.Abs(want[i]-ds.Dist[i]) > 1e-9 &&
+				!(math.IsInf(want[i], 1) && math.IsInf(ds.Dist[i], 1)) {
+				t.Fatalf("graph %d node %d: %v vs %v", gi, i, want[i], ds.Dist[i])
+			}
+		}
+	}
+}
+
+func largest(g *graph.Graph) *graph.Graph {
+	sub, _ := cc.LargestComponent(g)
+	return sub
+}
+
+// TestMRAndBSPAgreeEndToEnd runs the full estimate with the MR-model
+// decomposition substituted for the BSP one and checks the estimates agree
+// (the clusterings are bit-identical, so the estimates must be too).
+func TestMRAndBSPAgreeEndToEnd(t *testing.T) {
+	r := rng.New(75)
+	g := gen.UniformWeights(gen.GNM(300, 900, r), r)
+
+	bspRes := core.ApproxDiameter(g, core.DiamOptions{Options: core.Options{Tau: 8, Seed: 4}})
+
+	mrCl := mrcluster.Cluster(g, mrcluster.Options{Tau: 8, Seed: 4, Workers: 2})
+	q, _ := quotient.Build(g, mrCl.Center, mrCl.Dist, bsp.New(2))
+	qd := quotient.Diameter(q, bsp.New(2), quotient.DiameterOptions{})
+	mrEstimate := qd + 2*mrCl.Radius
+
+	if bspRes.Estimate != mrEstimate {
+		t.Fatalf("BSP estimate %v != MR estimate %v", bspRes.Estimate, mrEstimate)
+	}
+}
+
+// TestWorkersSweepEndToEnd verifies the determinism contract across a wide
+// worker sweep at the pipeline level.
+func TestWorkersSweepEndToEnd(t *testing.T) {
+	r := rng.New(76)
+	g := gen.UniformWeights(gen.Mesh(12), r)
+	var want float64
+	for i, workers := range []int{1, 2, 3, 5, 8, 13} {
+		res := core.ApproxDiameter(g, core.DiamOptions{
+			Options: core.Options{Tau: 8, Seed: 6, Engine: bsp.New(workers)},
+		})
+		if i == 0 {
+			want = res.Estimate
+			continue
+		}
+		if res.Estimate != want {
+			t.Fatalf("workers=%d: estimate %v != %v", workers, res.Estimate, want)
+		}
+	}
+}

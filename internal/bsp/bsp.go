@@ -1,0 +1,232 @@
+// Package bsp provides the bulk-synchronous parallel execution substrate on
+// which graphdiam's distributed algorithms run.
+//
+// The paper evaluates its algorithms on a 16-node Spark cluster and compares
+// them through platform-independent metrics: the number of rounds (parallel
+// supersteps, each of which costs a full communication phase in a
+// MapReduce-like system) and the work (node updates plus messages
+// generated). This package simulates that environment in-process: an Engine
+// owns P workers — the stand-ins for machines — that execute supersteps
+// over contiguous node partitions, separated by barriers, while a Metrics
+// struct accumulates exactly the counters the paper reports.
+//
+// The companion package internal/mr implements the rigorous MR(M_T, M_L)
+// key-value model of Pietracaprina et al. for validating round complexities
+// of the primitives; algorithms use this package for throughput.
+package bsp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics accumulates the paper's platform-independent cost measures.
+// All fields are updated atomically and may be read concurrently.
+type Metrics struct {
+	rounds   atomic.Int64
+	messages atomic.Int64
+	updates  atomic.Int64
+}
+
+// Snapshot is an immutable copy of the metrics at a point in time.
+type Snapshot struct {
+	// Rounds is the number of parallel supersteps executed. In a
+	// MapReduce-like system each superstep is a constant number of
+	// communication rounds (Fact 1 of the paper).
+	Rounds int64
+	// Messages counts inter-partition notifications generated (the
+	// "messages" component of the paper's work measure).
+	Messages int64
+	// Updates counts node-state writes (the "node updates" component).
+	Updates int64
+}
+
+// Work returns the paper's aggregate work measure: updates + messages.
+func (s Snapshot) Work() int64 { return s.Updates + s.Messages }
+
+// String renders the snapshot compactly for logs and tables.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("rounds=%d updates=%d messages=%d work=%d",
+		s.Rounds, s.Updates, s.Messages, s.Work())
+}
+
+// AddRounds adds k supersteps to the round count.
+func (m *Metrics) AddRounds(k int64) { m.rounds.Add(k) }
+
+// AddMessages adds k generated messages.
+func (m *Metrics) AddMessages(k int64) { m.messages.Add(k) }
+
+// AddUpdates adds k node updates.
+func (m *Metrics) AddUpdates(k int64) { m.updates.Add(k) }
+
+// Snapshot returns a consistent-enough copy for reporting (individual
+// counters are read atomically).
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Rounds:   m.rounds.Load(),
+		Messages: m.messages.Load(),
+		Updates:  m.updates.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.rounds.Store(0)
+	m.messages.Store(0)
+	m.updates.Store(0)
+}
+
+// Engine executes supersteps across a fixed number of workers. It is safe
+// for sequential reuse; a single Engine must not run two supersteps
+// concurrently.
+type Engine struct {
+	workers  int
+	simulate bool
+	critPath atomic.Int64 // ns; accumulated max per-step worker time
+	metrics  Metrics
+}
+
+// New returns an engine with the given number of workers. workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// NewSimulated returns an engine that executes workers sequentially while
+// measuring each worker's compute time and accumulating the per-step
+// maximum — the critical path a real P-machine cluster would pay
+// (communication aside). This reproduces machine-scaling experiments
+// faithfully on hosts with fewer physical cores than simulated machines;
+// results are identical to the concurrent engine by the determinism of the
+// algorithms.
+func NewSimulated(workers int) *Engine {
+	e := New(workers)
+	e.simulate = true
+	return e
+}
+
+// CriticalPath returns the accumulated simulated parallel compute time.
+// Zero unless the engine was created with NewSimulated.
+func (e *Engine) CriticalPath() time.Duration {
+	return time.Duration(e.critPath.Load())
+}
+
+// ResetCriticalPath zeroes the simulated-time accumulator.
+func (e *Engine) ResetCriticalPath() { e.critPath.Store(0) }
+
+// Workers returns the configured degree of parallelism (the simulated
+// machine count).
+func (e *Engine) Workers() int { return e.workers }
+
+// Metrics returns the engine's metrics accumulator.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// Partition returns the contiguous range [start, end) of items owned by
+// worker w out of n items. Ranges differ in size by at most one.
+func (e *Engine) Partition(n, w int) (start, end int) {
+	per := n / e.workers
+	rem := n % e.workers
+	start = w*per + min(w, rem)
+	end = start + per
+	if w < rem {
+		end++
+	}
+	return start, end
+}
+
+// Owner returns the worker owning item i of n under Partition.
+func (e *Engine) Owner(n, i int) int {
+	per := n / e.workers
+	rem := n % e.workers
+	// Items [0, rem*(per+1)) belong to the first rem workers.
+	boundary := rem * (per + 1)
+	if i < boundary {
+		return i / (per + 1)
+	}
+	if per == 0 {
+		return e.workers - 1
+	}
+	return rem + (i-boundary)/per
+}
+
+// ParallelFor runs fn once per worker over its partition of [0, n),
+// blocking until all complete. It does not count a round; use Superstep
+// for metered steps.
+func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
+	if e.simulate {
+		var maxNS int64
+		for w := 0; w < e.workers; w++ {
+			start, end := e.Partition(n, w)
+			t0 := time.Now()
+			fn(w, start, end)
+			if d := int64(time.Since(t0)); d > maxNS {
+				maxNS = d
+			}
+		}
+		e.critPath.Add(maxNS)
+		return
+	}
+	if e.workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			start, end := e.Partition(n, w)
+			fn(w, start, end)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Superstep runs one metered BSP superstep: a ParallelFor over [0, n)
+// followed by a barrier, incrementing the round counter by one.
+func (e *Engine) Superstep(n int, fn func(worker, start, end int)) {
+	e.ParallelFor(n, fn)
+	e.metrics.AddRounds(1)
+}
+
+// ReduceFloat64 runs fn per worker, each returning a float64, and combines
+// the results with combine (e.g. math.Max). Not metered.
+func (e *Engine) ReduceFloat64(n int, fn func(worker, start, end int) float64,
+	combine func(a, b float64) float64) float64 {
+	partial := make([]float64, e.workers)
+	e.ParallelFor(n, func(w, start, end int) {
+		partial[w] = fn(w, start, end)
+	})
+	acc := partial[0]
+	for _, p := range partial[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// ReduceInt runs fn per worker returning an int, and sums the results.
+// Not metered.
+func (e *Engine) ReduceInt(n int, fn func(worker, start, end int) int) int {
+	partial := make([]int, e.workers)
+	e.ParallelFor(n, func(w, start, end int) {
+		partial[w] = fn(w, start, end)
+	})
+	total := 0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+package bsp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversRange(t *testing.T) {
+	check := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw) % 1000
+		workers := int(wRaw)%16 + 1
+		e := New(workers)
+		covered := 0
+		prevEnd := 0
+		for w := 0; w < workers; w++ {
+			start, end := e.Partition(n, w)
+			if start != prevEnd || end < start {
+				return false
+			}
+			covered += end - start
+			prevEnd = end
+		}
+		return covered == n && prevEnd == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	e := New(7)
+	n := 100
+	minSize, maxSize := n, 0
+	for w := 0; w < 7; w++ {
+		s, en := e.Partition(n, w)
+		size := en - s
+		if size < minSize {
+			minSize = size
+		}
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	if maxSize-minSize > 1 {
+		t.Fatalf("partition imbalance: min=%d max=%d", minSize, maxSize)
+	}
+}
+
+func TestOwnerConsistentWithPartition(t *testing.T) {
+	check := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		workers := int(wRaw)%16 + 1
+		e := New(workers)
+		for w := 0; w < workers; w++ {
+			start, end := e.Partition(n, w)
+			for i := start; i < end; i++ {
+				if e.Owner(n, i) != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForVisitsEachOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		e := New(workers)
+		const n = 1000
+		visits := make([]int32, n)
+		e.ParallelFor(n, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSuperstepCountsRounds(t *testing.T) {
+	e := New(4)
+	for i := 0; i < 5; i++ {
+		e.Superstep(100, func(_, _, _ int) {})
+	}
+	if got := e.Metrics().Snapshot().Rounds; got != 5 {
+		t.Fatalf("rounds = %d, want 5", got)
+	}
+	e.Metrics().Reset()
+	if got := e.Metrics().Snapshot().Rounds; got != 0 {
+		t.Fatalf("rounds after reset = %d", got)
+	}
+}
+
+func TestMetricsConcurrentAccumulation(t *testing.T) {
+	e := New(8)
+	e.Superstep(10000, func(_, start, end int) {
+		e.Metrics().AddUpdates(int64(end - start))
+		e.Metrics().AddMessages(2 * int64(end-start))
+	})
+	s := e.Metrics().Snapshot()
+	if s.Updates != 10000 || s.Messages != 20000 {
+		t.Fatalf("metrics lost updates: %+v", s)
+	}
+	if s.Work() != 30000 {
+		t.Fatalf("Work = %d, want 30000", s.Work())
+	}
+}
+
+func TestReduceFloat64Max(t *testing.T) {
+	e := New(4)
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	got := e.ReduceFloat64(len(vals), func(_, start, end int) float64 {
+		m := math.Inf(-1)
+		for i := start; i < end; i++ {
+			if vals[i] > m {
+				m = vals[i]
+			}
+		}
+		return m
+	}, math.Max)
+	if got != 9 {
+		t.Fatalf("max = %v, want 9", got)
+	}
+}
+
+func TestReduceInt(t *testing.T) {
+	e := New(3)
+	got := e.ReduceInt(100, func(_, start, end int) int { return end - start })
+	if got != 100 {
+		t.Fatalf("sum of partition sizes = %d, want 100", got)
+	}
+}
+
+func TestZeroWorkersDefaults(t *testing.T) {
+	e := New(0)
+	if e.Workers() < 1 {
+		t.Fatal("default engine has no workers")
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	e := New(4)
+	called := int32(0)
+	e.ParallelFor(0, func(_, start, end int) {
+		if start != end {
+			t.Error("non-empty partition of empty range")
+		}
+		atomic.AddInt32(&called, 1)
+	})
+	if called != 4 {
+		t.Fatalf("workers called %d times, want 4", called)
+	}
+}
+
+func TestMoreWorkersThanItems(t *testing.T) {
+	e := New(8)
+	visits := make([]int32, 3)
+	e.ParallelFor(3, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("item %d visited %d times", i, v)
+		}
+	}
+	// Owner must still be valid for every item.
+	for i := 0; i < 3; i++ {
+		w := e.Owner(3, i)
+		if w < 0 || w >= 8 {
+			t.Fatalf("Owner(3,%d) = %d", i, w)
+		}
+	}
+}
+
+func BenchmarkSuperstepOverhead(b *testing.B) {
+	e := New(8)
+	for i := 0; i < b.N; i++ {
+		e.Superstep(1, func(_, _, _ int) {})
+	}
+}
+
+func BenchmarkParallelForThroughput(b *testing.B) {
+	e := New(8)
+	const n = 1 << 20
+	data := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ParallelFor(n, func(_, start, end int) {
+			for j := start; j < end; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}

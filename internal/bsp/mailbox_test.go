@@ -1,0 +1,77 @@
+package bsp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMailboxRoundTrip(t *testing.T) {
+	m := NewMailboxes[int](3)
+	if m.Workers() != 3 {
+		t.Fatal("Workers mismatch")
+	}
+	m.Send(0, 1, 10)
+	m.Send(0, 1, 11)
+	m.Send(2, 1, 12)
+	m.Send(1, 0, 99)
+	if m.CountTo(1) != 3 {
+		t.Fatalf("CountTo(1) = %d, want 3", m.CountTo(1))
+	}
+	if m.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", m.Count())
+	}
+	var got []int
+	m.Recv(1, func(v int) { got = append(got, v) })
+	want := []int{10, 11, 12} // sender order: src 0 then src 2
+	if len(got) != len(want) {
+		t.Fatalf("Recv got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Recv order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMailboxClear(t *testing.T) {
+	m := NewMailboxes[string](2)
+	m.Send(0, 0, "a")
+	m.Send(1, 0, "b")
+	m.Send(0, 1, "c")
+	m.ClearTo(0)
+	if m.CountTo(0) != 0 || m.CountTo(1) != 1 {
+		t.Fatal("ClearTo cleared wrong buffers")
+	}
+	m.Clear()
+	if m.Count() != 0 {
+		t.Fatal("Clear incomplete")
+	}
+}
+
+func TestMailboxParallelExchange(t *testing.T) {
+	// Each worker sends its worker ID to every other worker; after the
+	// barrier each worker receives exactly workers messages summing to the
+	// same total.
+	const workers = 8
+	e := New(workers)
+	m := NewMailboxes[int](workers)
+	e.ParallelFor(workers, func(w, _, _ int) {
+		for dst := 0; dst < workers; dst++ {
+			m.Send(w, dst, w)
+		}
+	})
+	var total int64
+	e.ParallelFor(workers, func(w, _, _ int) {
+		sum := 0
+		count := 0
+		m.Recv(w, func(v int) { sum += v; count++ })
+		if count != workers {
+			t.Errorf("worker %d received %d messages", w, count)
+		}
+		atomic.AddInt64(&total, int64(sum))
+	})
+	wantPer := workers * (workers - 1) / 2
+	if total != int64(workers*wantPer) {
+		t.Fatalf("total = %d, want %d", total, workers*wantPer)
+	}
+}

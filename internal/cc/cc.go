@@ -1,0 +1,138 @@
+// Package cc computes connected components of undirected graphs.
+//
+// The paper defines the diameter of a disconnected graph as the largest
+// distance within a component, and all generators here extract the largest
+// component of their raw output, so component extraction is a core
+// substrate. Two implementations are provided: a sequential BFS labelling
+// and a union-find (used by the generators, which know edges before the CSR
+// graph exists).
+package cc
+
+import (
+	"graphdiam/internal/graph"
+)
+
+// Components labels every node with a component ID in [0, #components) and
+// returns the label array together with the component count. Labels are
+// assigned in order of the smallest node ID in each component.
+func Components(g *graph.Graph) ([]int32, int) {
+	n := g.NumNodes()
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := int32(0)
+	queue := make([]graph.NodeID, 0, 1024)
+	for s := 0; s < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = next
+		queue = append(queue[:0], graph.NodeID(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			ts, _ := g.Neighbors(u)
+			for _, v := range ts {
+				if label[v] < 0 {
+					label[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return label, int(next)
+}
+
+// LargestComponent returns the induced subgraph of g's largest connected
+// component and the mapping from new node IDs to original IDs. If g is
+// connected it still returns a (renumbered) copy; callers that want to avoid
+// the copy should check IsConnected first.
+func LargestComponent(g *graph.Graph) (*graph.Graph, []graph.NodeID) {
+	label, k := Components(g)
+	if k == 0 {
+		return g, nil
+	}
+	sizes := make([]int, k)
+	for _, l := range label {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	keep := make([]graph.NodeID, 0, sizes[best])
+	for u, l := range label {
+		if int(l) == best {
+			keep = append(keep, graph.NodeID(u))
+		}
+	}
+	return g.Subgraph(keep)
+}
+
+// IsConnected reports whether g has exactly one connected component.
+// The empty graph is considered connected.
+func IsConnected(g *graph.Graph) bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, k := Components(g)
+	return k == 1
+}
+
+// UnionFind is a disjoint-set structure with union by rank and path
+// halving. It operates on dense integer IDs.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int
+}
+
+// NewUnionFind returns a UnionFind over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	p := uf.parent
+	for p[x] != int32(x) {
+		p[x] = p[p[x]] // path halving
+		x = int(p[x])
+	}
+	return x
+}
+
+// Union merges the sets of x and y, returning true if they were distinct.
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = int32(rx)
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }

@@ -1,0 +1,145 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// twoTriangles returns two disjoint triangles {0,1,2} and {3,4,5} plus an
+// isolated node 6.
+func twoTriangles() *graph.Graph {
+	b := graph.NewBuilder(7, 6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 0, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 3, 1)
+	return b.Build()
+}
+
+func TestComponents(t *testing.T) {
+	g := twoTriangles()
+	label, k := Components(g)
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatalf("first triangle split: %v", label[:3])
+	}
+	if label[3] != label[4] || label[4] != label[5] {
+		t.Fatalf("second triangle split: %v", label[3:6])
+	}
+	if label[0] == label[3] || label[0] == label[6] || label[3] == label[6] {
+		t.Fatalf("components merged: %v", label)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if IsConnected(twoTriangles()) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	b := graph.NewBuilder(3, 2)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	if !IsConnected(b.Build()) {
+		t.Fatal("path reported disconnected")
+	}
+	if !IsConnected(graph.NewBuilder(0, 0).Build()) {
+		t.Fatal("empty graph should be connected")
+	}
+	if IsConnected(graph.NewBuilder(2, 0).Build()) {
+		t.Fatal("two isolated nodes reported connected")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Triangle {0,1,2} and a larger path {3,4,5,6}.
+	b := graph.NewBuilder(7, 6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 0, 1)
+	b.AddEdge(3, 4, 2)
+	b.AddEdge(4, 5, 2)
+	b.AddEdge(5, 6, 2)
+	g := b.Build()
+	sub, orig := LargestComponent(g)
+	if sub.NumNodes() != 4 {
+		t.Fatalf("largest component size = %d, want 4", sub.NumNodes())
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("largest component edges = %d, want 3", sub.NumEdges())
+	}
+	want := []graph.NodeID{3, 4, 5, 6}
+	for i, o := range orig {
+		if o != want[i] {
+			t.Fatalf("orig = %v, want %v", orig, want)
+		}
+	}
+	if !IsConnected(sub) {
+		t.Fatal("extracted component not connected")
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", uf.Count())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("fresh unions returned false")
+	}
+	if uf.Union(0, 2) {
+		t.Fatal("redundant union returned true")
+	}
+	if uf.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", uf.Count())
+	}
+	if !uf.Same(0, 2) || uf.Same(0, 3) {
+		t.Fatal("Same mismatch")
+	}
+}
+
+// Property: union-find component count must agree with BFS component count
+// on random graphs.
+func TestUnionFindAgreesWithBFS(t *testing.T) {
+	check := func(seed uint64, nEdges uint8) bool {
+		r := rng.New(seed)
+		const n = 24
+		b := graph.NewBuilder(n, int(nEdges))
+		uf := NewUnionFind(n)
+		for i := 0; i < int(nEdges); i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+			uf.Union(u, v)
+		}
+		_, k := Components(b.Build())
+		return k == uf.Count()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	r := rng.New(1)
+	const n, m = 1 << 15, 1 << 16
+	bld := graph.NewBuilder(n, m)
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			bld.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+		}
+	}
+	g := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(g)
+	}
+}

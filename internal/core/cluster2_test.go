@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+func TestCluster2CoversAllNodes(t *testing.T) {
+	r := rng.New(31)
+	graphs := map[string]*graph.Graph{
+		"mesh": gen.UniformWeights(gen.Mesh(10), r),
+		"gnm":  gen.UniformWeights(gen.GNM(150, 400, r), r),
+		"path": gen.Path(80),
+	}
+	for name, g := range graphs {
+		res := Cluster2(g, Options{Tau: 4, Seed: 8})
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.RCL <= 0 && g.NumEdges() > 0 {
+			t.Fatalf("%s: RCL = %v", name, res.RCL)
+		}
+		checkDistUpperBounds(t, g, res.Clustering)
+	}
+}
+
+func TestCluster2DeterministicAcrossWorkers(t *testing.T) {
+	r := rng.New(37)
+	g := gen.UniformWeights(gen.Mesh(12), r)
+	a := Cluster2(g, Options{Tau: 4, Seed: 10, Engine: bsp.New(1)})
+	b := Cluster2(g, Options{Tau: 4, Seed: 10, Engine: bsp.New(8)})
+	if a.NumClusters() != b.NumClusters() || a.Radius != b.Radius {
+		t.Fatalf("cluster2 depends on workers: %d/%v vs %d/%v",
+			a.NumClusters(), a.Radius, b.NumClusters(), b.Radius)
+	}
+	for u := range a.Center {
+		if a.Center[u] != b.Center[u] {
+			t.Fatalf("center of %d differs across worker counts", u)
+		}
+	}
+}
+
+func TestCluster2GrowthIsRateLimited(t *testing.T) {
+	// The key structural property behind Theorem 2: a center selected at
+	// iteration i cannot cover a node at light distance d in fewer than
+	// ⌈d/(2·RCL)⌉ iterations, because Contract2 rescales potentials by
+	// 2·RCL per iteration. Consequence: on a long unit path with a single
+	// early center, per-iteration coverage growth from that center is
+	// bounded by ~2·RCL per side per iteration (in weight).
+	g := gen.Path(200)
+	res := Cluster2(g, Options{Tau: 1, Seed: 3})
+	if err := res.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Every node's Dist is a true path weight, so it is bounded by the
+	// number of iterations times the per-iteration growth budget 2·RCL.
+	budget := float64(res.Stages)*2*res.RCL + 1e-9
+	for u, d := range res.Dist {
+		if d > budget {
+			t.Fatalf("node %d dist %v exceeds iteration budget %v (stages=%d RCL=%v)",
+				u, d, budget, res.Stages, res.RCL)
+		}
+	}
+}
+
+func TestCluster2ClusterCountWithinBound(t *testing.T) {
+	// Lemma 2 bounds the cluster count by O(τ log⁴ n). At our scales the
+	// growth threshold 2·R_CL is large relative to the graph, so the count
+	// is typically far below the bound — often below CLUSTER's too, which
+	// is fine: the lemma gives an upper bound only.
+	r := rng.New(41)
+	g := gen.UniformWeights(gen.Mesh(16), r)
+	n := float64(g.NumNodes())
+	c2 := Cluster2(g, Options{Tau: 8, Seed: 5})
+	l := math.Log2(n)
+	bound := 8 * 8 * l * l * l * l // generous constant on τ log⁴ n
+	if float64(c2.NumClusters()) > bound {
+		t.Fatalf("CLUSTER2 clusters %d exceed O(τ log⁴ n) bound %v", c2.NumClusters(), bound)
+	}
+	if c2.NumClusters() < 1 {
+		t.Fatal("no clusters")
+	}
+}
+
+func TestCluster2EmptyGraph(t *testing.T) {
+	res := Cluster2(graph.NewBuilder(0, 0).Build(), Options{Tau: 1})
+	if res.NumClusters() != 0 {
+		t.Fatal("empty graph should produce no clusters")
+	}
+}
+
+func TestCluster2Disconnected(t *testing.T) {
+	b := graph.NewBuilder(10, 8)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	for i := 5; i < 9; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g := b.Build()
+	res := Cluster2(g, Options{Tau: 2, Seed: 12})
+	if err := res.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for u, ctr := range res.Center {
+		if (u < 5) != (ctr < 5) {
+			t.Fatalf("cluster2 cluster spans components: node %d center %d", u, ctr)
+		}
+	}
+}
+
+func TestCluster2RadiusBoundedByIterationsTimesThreshold(t *testing.T) {
+	r := rng.New(43)
+	g := gen.UniformWeights(gen.GNM(120, 360, r), r)
+	res := Cluster2(g, Options{Tau: 4, Seed: 9})
+	n := g.NumNodes()
+	// Radius ≤ iterations · 2·RCL: each iteration adds at most the growth
+	// threshold to any realized center path.
+	bound := (math.Log2(float64(n)) + 2) * 2 * res.RCL
+	if res.Radius > bound+1e-9 {
+		t.Fatalf("radius %v exceeds bound %v", res.Radius, bound)
+	}
+}

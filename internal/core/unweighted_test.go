@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+	"graphdiam/internal/validate"
+)
+
+func TestClusterUnweightedCoversAll(t *testing.T) {
+	r := rng.New(51)
+	graphs := map[string]*graph.Graph{
+		"mesh": gen.UniformWeights(gen.Mesh(10), r),
+		"gnm":  gen.UniformWeights(gen.GNM(150, 400, r), r),
+		"road": gen.RoadNetwork(gen.DefaultRoadNetworkOptions(12), r),
+	}
+	for name, g := range graphs {
+		cl := ClusterUnweighted(g, Options{Tau: 8, Seed: 9})
+		if err := cl.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkDistUpperBounds(t, g, cl)
+	}
+}
+
+func TestClusterUnweightedDeterministic(t *testing.T) {
+	r := rng.New(52)
+	g := gen.UniformWeights(gen.Mesh(12), r)
+	a := ClusterUnweighted(g, Options{Tau: 6, Seed: 4, Engine: bsp.New(1)})
+	b := ClusterUnweighted(g, Options{Tau: 6, Seed: 4, Engine: bsp.New(8)})
+	for u := range a.Center {
+		if a.Center[u] != b.Center[u] || a.Dist[u] != b.Dist[u] {
+			t.Fatalf("node %d differs across worker counts", u)
+		}
+	}
+}
+
+func TestClusterUnweightedIgnoresWeightsForGrowth(t *testing.T) {
+	// A path with one enormous edge in the middle: hop-based growth from a
+	// center on the left marches straight across the heavy edge, so the
+	// radius includes it. CLUSTER with the same τ never crosses it (the
+	// heavy edge exceeds every reasonable Δ guess), keeping the radius
+	// small.
+	weights := make([]float64, 40)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[20] = 1e6
+	g := gen.WeightedPath(weights)
+	unw := ClusterUnweighted(g, Options{Tau: 2, Seed: 1})
+	w := Cluster(g, Options{Tau: 2, Seed: 1})
+	if err := unw.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if unw.Radius < 1e5 && w.Radius > 1e5 {
+		t.Fatalf("expected the weight-oblivious radius (%v) to be the one at risk, weighted %v",
+			unw.Radius, w.Radius)
+	}
+	if w.Radius > 1e5 {
+		t.Fatalf("weighted CLUSTER absorbed the heavy edge: radius %v", w.Radius)
+	}
+}
+
+func TestWeightObliviousAblationOnRoads(t *testing.T) {
+	// The ablation behind the paper's Section 1 remark: on weighted
+	// near-planar graphs the weight-oblivious decomposition yields larger
+	// radii, hence looser estimates, than CLUSTER with the same τ.
+	r := rng.New(53)
+	// Roads with heavy-tailed weights exaggerate the effect.
+	g := gen.ExponentialWeights(gen.RoadNetwork(gen.DefaultRoadNetworkOptions(24), r), 1, r)
+	exact := validate.ExactDiameter(g, bsp.New(4))
+
+	weighted := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 16, Seed: 2}})
+	oblivious := ApproxDiameter(g, DiamOptions{
+		Options:         Options{Tau: 16, Seed: 2},
+		WeightOblivious: true,
+	})
+	if weighted.Estimate+1e-9 < exact || oblivious.Estimate+1e-9 < exact {
+		t.Fatal("estimates must stay conservative")
+	}
+	if oblivious.Radius < weighted.Radius {
+		t.Fatalf("weight-oblivious radius %v unexpectedly below weighted %v",
+			oblivious.Radius, weighted.Radius)
+	}
+}
+
+func TestWeightObliviousMutuallyExclusive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for UseCluster2 + WeightOblivious")
+		}
+	}()
+	ApproxDiameter(gen.Path(4), DiamOptions{UseCluster2: true, WeightOblivious: true})
+}

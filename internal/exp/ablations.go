@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/core"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/rng"
+	"graphdiam/internal/validate"
+)
+
+// ObliviousRow compares CLUSTER with the weight-oblivious [CPPU15]
+// decomposition at the same τ.
+type ObliviousRow struct {
+	Graph            string
+	RatioWeighted    float64
+	RatioOblivious   float64
+	RadiusWeighted   float64
+	RadiusOblivious  float64
+	RoundsWeighted   int64
+	RoundsOblivious  int64
+	EstimateWeighted float64
+}
+
+// WeightOblivious runs the ablation behind the paper's Section 1 remark
+// that weight-oblivious execution of the unweighted decomposition provides
+// no guarantees on weighted graphs: on weighted road networks the BFS-grown
+// clusters absorb heavy edges, inflating the radius and the estimate.
+func WeightOblivious(scale Scale, seed uint64) []ObliviousRow {
+	r := rng.New(seed)
+	side := 24
+	if scale != ScaleTest {
+		side = 64
+	}
+	graphs := []NamedGraph{
+		{"roads-exp", "roads + heavy-tail weights",
+			gen.ExponentialWeights(gen.RoadNetwork(gen.DefaultRoadNetworkOptions(side), r.Split()), 1, r.Split())},
+		{"mesh-exp", "mesh + heavy-tail weights",
+			gen.ExponentialWeights(gen.Mesh(side), 1, r.Split())},
+	}
+	var rows []ObliviousRow
+	for _, ng := range graphs {
+		lb, _ := validate.LowerBound(ng.G, 0, 4)
+		tau := core.TauForQuotientTarget(ng.G.NumNodes(), 2000)
+		w := core.ApproxDiameter(ng.G, core.DiamOptions{
+			Options: core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
+		})
+		o := core.ApproxDiameter(ng.G, core.DiamOptions{
+			Options:         core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
+			WeightOblivious: true,
+		})
+		rows = append(rows, ObliviousRow{
+			Graph:            ng.Name,
+			RatioWeighted:    w.Estimate / lb,
+			RatioOblivious:   o.Estimate / lb,
+			RadiusWeighted:   w.Radius,
+			RadiusOblivious:  o.Radius,
+			RoundsWeighted:   w.Metrics.Rounds,
+			RoundsOblivious:  o.Metrics.Rounds,
+			EstimateWeighted: w.Estimate,
+		})
+	}
+	return rows
+}
+
+// WriteWeightOblivious renders the ablation.
+func WriteWeightOblivious(w io.Writer, rows []ObliviousRow) {
+	fmt.Fprintf(w, "%-10s | %9s %9s | %11s %11s | %7s %7s\n",
+		"graph", "ratio-W", "ratio-U", "radius-W", "radius-U", "rnd-W", "rnd-U")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %9.3f %9.3f | %11.4g %11.4g | %7d %7d\n",
+			r.Graph, r.RatioWeighted, r.RatioOblivious,
+			r.RadiusWeighted, r.RadiusOblivious,
+			r.RoundsWeighted, r.RoundsOblivious)
+	}
+}
+
+// Corollary1Point is one τ setting of the doubling-dimension experiment.
+type Corollary1Point struct {
+	Tau    int
+	Rounds int64
+	Ratio  float64
+}
+
+// Corollary1 demonstrates the paper's Corollary 1 on a mesh (doubling
+// dimension b = 2) with random weights: the round complexity is a
+// decreasing function of τ — more clusters mean shallower growth, with
+// the theoretical form O((Ψ/τ^(1/b)) · polylog). The returned series shows
+// rounds falling as τ rises while the approximation stays bounded.
+func Corollary1(scale Scale, seed uint64) []Corollary1Point {
+	r := rng.New(seed)
+	side := 40
+	if scale != ScaleTest {
+		side = 96
+	}
+	g := gen.UniformWeights(gen.Mesh(side), r)
+	lb, _ := validate.LowerBound(g, 0, 4)
+	taus := []int{2, 8, 32, 128, 512}
+	var points []Corollary1Point
+	for _, tau := range taus {
+		res := core.ApproxDiameter(g, core.DiamOptions{
+			Options: core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
+		})
+		points = append(points, Corollary1Point{tau, res.Metrics.Rounds, res.Estimate / lb})
+	}
+	return points
+}
+
+// WriteCorollary1 renders the series.
+func WriteCorollary1(w io.Writer, points []Corollary1Point) {
+	fmt.Fprintf(w, "%8s %8s %8s\n", "tau", "rounds", "ratio")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %8d %8.3f\n", p.Tau, p.Rounds, p.Ratio)
+	}
+}

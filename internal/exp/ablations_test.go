@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWeightObliviousAblation(t *testing.T) {
+	rows := WeightOblivious(ScaleTest, 5)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RatioWeighted < 1-1e-9 || r.RatioOblivious < 1-1e-9 {
+			t.Fatalf("%s: ratios below 1: %+v", r.Graph, r)
+		}
+		// The point of the ablation: weight-oblivious growth does not beat
+		// the weighted decomposition on radius, and typically loses badly.
+		if r.RadiusOblivious+1e-9 < r.RadiusWeighted {
+			t.Fatalf("%s: oblivious radius %v below weighted %v",
+				r.Graph, r.RadiusOblivious, r.RadiusWeighted)
+		}
+	}
+	var buf bytes.Buffer
+	WriteWeightOblivious(&buf, rows)
+	if !strings.Contains(buf.String(), "ratio-U") {
+		t.Fatal("output malformed")
+	}
+}
+
+func TestCorollary1RoundsDecreaseWithTau(t *testing.T) {
+	points := Corollary1(ScaleTest, 3)
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Rounds at the largest τ must be below rounds at the smallest
+	// (monotonicity up to noise is too strict; compare the endpoints).
+	first, last := points[0], points[len(points)-1]
+	if last.Rounds >= first.Rounds {
+		t.Fatalf("rounds did not fall with τ: τ=%d→%d rounds, τ=%d→%d rounds",
+			first.Tau, first.Rounds, last.Tau, last.Rounds)
+	}
+	for _, p := range points {
+		if p.Ratio < 1-1e-9 || p.Ratio > 3 {
+			t.Fatalf("τ=%d: ratio %v out of band", p.Tau, p.Ratio)
+		}
+	}
+	var buf bytes.Buffer
+	WriteCorollary1(&buf, points)
+	if !strings.Contains(buf.String(), "tau") {
+		t.Fatal("output malformed")
+	}
+}

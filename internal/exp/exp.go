@@ -1,0 +1,227 @@
+// Package exp is the experiments harness: it assembles the benchmark
+// graphs of the paper's Table 1 (at reduced scale, see DESIGN.md), runs
+// CL-DIAM against the Δ-stepping baseline, and produces the rows of every
+// table and figure in the paper's evaluation (Section 5):
+//
+//   - Table 1: benchmark graph properties;
+//   - Table 2 / Figures 1-3: approximation ratio, wall time, rounds and
+//     work of CL-DIAM vs Δ-stepping on six graphs;
+//   - Table 3: CL-DIAM wall time on the two largest graphs;
+//   - Figure 4: scalability in the number of workers (machines);
+//   - the Section 5 Δ-sensitivity experiment;
+//   - the Section 4.1 growing-step-cap ablation.
+//
+// The same functions back cmd/experiments (human-readable tables) and the
+// root-level benchmarks (one testing.B benchmark per table/figure).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/cc"
+	"graphdiam/internal/core"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+	"graphdiam/internal/sssp"
+	"graphdiam/internal/validate"
+)
+
+// Scale selects the size of the benchmark instances.
+type Scale int
+
+const (
+	// ScaleTest keeps every instance small enough for the unit-test suite.
+	ScaleTest Scale = iota
+	// ScaleDefault is the size used by cmd/experiments and the benchmarks:
+	// large enough for the paper's effects to be unmistakable, small
+	// enough for a laptop.
+	ScaleDefault
+)
+
+// NamedGraph is a benchmark instance.
+type NamedGraph struct {
+	Name string
+	// PaperName is the Table 1 graph this instance stands in for.
+	PaperName string
+	G         *graph.Graph
+}
+
+// BenchmarkGraphs builds the six Table 2 instances (scaled stand-ins; see
+// DESIGN.md "Substitutions"). Deterministic in (scale, seed).
+func BenchmarkGraphs(scale Scale, seed uint64) []NamedGraph {
+	r := rng.New(seed)
+	var roadBig, roadSmall, meshSide int
+	var rmatSocialScale, rmatBigScale int
+	switch scale {
+	case ScaleTest:
+		roadBig, roadSmall, meshSide = 48, 24, 32
+		rmatSocialScale, rmatBigScale = 9, 10
+	default:
+		roadBig, roadSmall, meshSide = 160, 64, 128
+		rmatSocialScale, rmatBigScale = 13, 15
+	}
+	return []NamedGraph{
+		{"roads-big", "roads-USA", gen.RoadNetwork(gen.DefaultRoadNetworkOptions(roadBig), r.Split())},
+		{"roads-small", "roads-CAL", gen.RoadNetwork(gen.DefaultRoadNetworkOptions(roadSmall), r.Split())},
+		{"mesh", "mesh", gen.UniformWeights(gen.Mesh(meshSide), r.Split())},
+		{"rmat-social", "livejournal", gen.UniformWeights(largestCC(gen.RMatDefault(rmatSocialScale, r.Split())), r.Split())},
+		{"rmat-dense", "twitter", gen.UniformWeights(largestCC(gen.RMat(rmatSocialScale, 32, gen.DefaultRMatParams, r.Split())), r.Split())},
+		{"rmat-big", "R-MAT(24)", gen.UniformWeights(largestCC(gen.RMatDefault(rmatBigScale, r.Split())), r.Split())},
+	}
+}
+
+func largestCC(g *graph.Graph) *graph.Graph {
+	sub, _ := cc.LargestComponent(g)
+	return sub
+}
+
+// Row is one line of the Table 2 comparison.
+type Row struct {
+	Name      string
+	PaperName string
+	N, M      int
+
+	LowerBound float64 // iterated-sweep diameter lower bound (ratio basis)
+
+	// CL-DIAM results.
+	ApproxCL float64
+	RatioCL  float64
+	TimeCL   time.Duration
+	RoundsCL int64
+	WorkCL   int64
+
+	// Δ-stepping baseline (2·ecc from a fixed source).
+	ApproxDS float64
+	RatioDS  float64
+	TimeDS   time.Duration
+	RoundsDS int64
+	WorkDS   int64
+}
+
+// CompareOptions tunes a comparison run.
+type CompareOptions struct {
+	// Workers is the engine parallelism (simulated machines). <=0: all cores.
+	Workers int
+	// QuotientTarget caps the expected quotient size; τ derives from it.
+	QuotientTarget int
+	// Sweeps for the diameter lower bound.
+	Sweeps int
+	// DeltaCandidates for the baseline's per-graph Δ tuning; empty uses
+	// {avg/4, avg, 4·avg} as in our reproduction protocol.
+	DeltaCandidates []float64
+	// Seed drives clustering randomness.
+	Seed uint64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.QuotientTarget <= 0 {
+		o.QuotientTarget = 2000
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 4
+	}
+	return o
+}
+
+// Compare runs CL-DIAM and the Δ-stepping diameter baseline on g,
+// producing one Table 2 row. The baseline's Δ is tuned per graph over
+// opts.DeltaCandidates, mirroring the paper's protocol.
+func Compare(ng NamedGraph, opts CompareOptions) Row {
+	o := opts.withDefaults()
+	g := ng.G
+	row := Row{Name: ng.Name, PaperName: ng.PaperName, N: g.NumNodes(), M: g.NumEdges()}
+
+	// Reference lower bound for approximation ratios (paper, Table 2
+	// caption: iterated farthest-node SSSP).
+	row.LowerBound, _ = validate.LowerBound(g, 0, o.Sweeps)
+
+	// CL-DIAM.
+	eCL := bsp.New(o.Workers)
+	tau := core.TauForQuotientTarget(g.NumNodes(), o.QuotientTarget)
+	res := core.ApproxDiameter(g, core.DiamOptions{
+		Options: core.Options{Tau: tau, Seed: o.Seed, Engine: eCL},
+	})
+	row.ApproxCL = res.Estimate
+	row.TimeCL = res.WallTime
+	row.RoundsCL = res.Metrics.Rounds
+	row.WorkCL = res.Metrics.Work()
+
+	// Δ-stepping baseline from a fixed (deterministic) interior source —
+	// the paper starts from a random node; a corner node would make
+	// 2·ecc(s) degenerate to exactly 2·Φ.
+	cands := o.DeltaCandidates
+	if len(cands) == 0 {
+		avg := g.AvgEdgeWeight()
+		cands = []float64{avg / 4, avg, 4 * avg}
+	}
+	src := graph.NodeID(g.NumNodes() / 2)
+	delta := sssp.TuneDelta(g, src, cands)
+	eDS := bsp.New(o.Workers)
+	start := time.Now()
+	ub, ds := sssp.DiameterUpperBound(g, src, delta, eDS)
+	row.TimeDS = time.Since(start)
+	row.ApproxDS = ub
+	row.RoundsDS = ds.Rounds
+	row.WorkDS = ds.Work()
+
+	if row.LowerBound > 0 {
+		row.RatioCL = row.ApproxCL / row.LowerBound
+		row.RatioDS = row.ApproxDS / row.LowerBound
+	}
+	return row
+}
+
+// Table2 runs the full comparison suite.
+func Table2(scale Scale, opts CompareOptions) []Row {
+	graphs := BenchmarkGraphs(scale, 12345)
+	rows := make([]Row, 0, len(graphs))
+	for _, ng := range graphs {
+		rows = append(rows, Compare(ng, opts))
+	}
+	return rows
+}
+
+// WriteTable2 renders rows in the layout of the paper's Table 2.
+func WriteTable2(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "%-12s %-12s %9s %10s | %7s %7s | %9s %9s | %7s %7s | %11s %11s\n",
+		"graph", "(paper)", "n", "m",
+		"apxCL", "apxDS", "timeCL", "timeDS", "rndCL", "rndDS", "workCL", "workDS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-12s %9d %10d | %7.2f %7.2f | %9s %9s | %7d %7d | %11.3g %11.3g\n",
+			r.Name, r.PaperName, r.N, r.M,
+			r.RatioCL, r.RatioDS,
+			r.TimeCL.Round(time.Millisecond), r.TimeDS.Round(time.Millisecond),
+			r.RoundsCL, r.RoundsDS,
+			float64(r.WorkCL), float64(r.WorkDS))
+	}
+}
+
+// Table1Row summarizes one benchmark graph (paper Table 1).
+type Table1Row struct {
+	Name, PaperName string
+	N, M            int
+	Diameter        float64 // lower-bound estimate via sweeps
+}
+
+// Table1 reports the benchmark graph properties.
+func Table1(scale Scale) []Table1Row {
+	graphs := BenchmarkGraphs(scale, 12345)
+	rows := make([]Table1Row, 0, len(graphs))
+	for _, ng := range graphs {
+		lb, _ := validate.LowerBound(ng.G, 0, 4)
+		rows = append(rows, Table1Row{ng.Name, ng.PaperName, ng.G.NumNodes(), ng.G.NumEdges(), lb})
+	}
+	return rows
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-12s %-12s %9s %10s %14s\n", "graph", "(paper)", "n", "m", "diameter(≳)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-12s %9d %10d %14.4g\n", r.Name, r.PaperName, r.N, r.M, r.Diameter)
+	}
+}

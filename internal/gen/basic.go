@@ -1,0 +1,153 @@
+// Package gen generates the benchmark graph families used in the paper's
+// evaluation (Section 5, Table 1):
+//
+//   - mesh(S): an S×S square mesh, a bounded-doubling-dimension graph
+//     (b = 2) for which Corollary 1 applies;
+//   - R-MAT(S): 2^S nodes and 16·2^S edge samples with a power-law degree
+//     distribution and small diameter (Chakrabarti, Zhan, Faloutsos 2004) —
+//     the synthetic stand-in for social networks;
+//   - roads(S): the cartesian product of a linear array of S nodes with a
+//     base road network, used by the paper to scale road topologies;
+//   - RoadNetwork: a synthetic near-planar road-network generator standing
+//     in for the proprietary DIMACS roads-USA/roads-CAL inputs (see
+//     DESIGN.md, substitutions);
+//   - elementary families (paths, cycles, stars, cliques, binary trees,
+//     G(n,m)) used by the test suites.
+//
+// All generators are deterministic given an *rng.RNG.
+package gen
+
+import (
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// Path returns the path graph 0-1-…-(n-1) with unit weights.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n-1)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return b.Build()
+}
+
+// WeightedPath returns the path graph with the given edge weights
+// (len(weights) = n-1 edges, n = len(weights)+1 nodes).
+func WeightedPath(weights []float64) *graph.Graph {
+	n := len(weights) + 1
+	b := graph.NewBuilder(n, n-1)
+	for i, w := range weights {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), w)
+	}
+	return b.Build()
+}
+
+// Cycle returns the n-cycle with unit weights (n >= 3).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), 1)
+	}
+	return b.Build()
+}
+
+// Star returns the star with center 0 and n-1 unit-weight spokes.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n-1)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.NodeID(i), 1)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(j), 1)
+		}
+	}
+	return b.Build()
+}
+
+// BinaryTree returns a complete binary tree on n nodes with unit weights:
+// node i has children 2i+1 and 2i+2.
+func BinaryTree(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n-1)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.NodeID((i-1)/2), graph.NodeID(i), 1)
+	}
+	return b.Build()
+}
+
+// Mesh returns the S×S square mesh with unit weights. Node (r,c) has ID
+// r*S + c and is adjacent to its 4-neighbourhood. This is the paper's
+// mesh(S): n = S², m = 2S(S−1), doubling dimension 2.
+func Mesh(s int) *graph.Graph {
+	n := s * s
+	b := graph.NewBuilder(n, 2*s*(s-1))
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*s + c) }
+	for r := 0; r < s; r++ {
+		for c := 0; c < s; c++ {
+			if c+1 < s {
+				b.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < s {
+				b.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the S×S torus (mesh with wraparound) with unit weights.
+func Torus(s int) *graph.Graph {
+	n := s * s
+	b := graph.NewBuilder(n, 2*n)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*s + c) }
+	for r := 0; r < s; r++ {
+		for c := 0; c < s; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%s), 1)
+			b.AddEdge(id(r, c), id((r+1)%s, c), 1)
+		}
+	}
+	return b.Build()
+}
+
+// GNM returns an Erdős–Rényi G(n, m) multigraph sample with unit weights.
+// Self-loops are skipped and parallel samples collapse, so the realized
+// edge count can be slightly below m.
+func GNM(n, m int, r *rng.RNG) *graph.Graph {
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// CartesianProductPath returns the cartesian product of a linear array of
+// s nodes with the base graph: s stacked copies of base, with unit-weight
+// edges connecting corresponding nodes of consecutive copies. This is the
+// paper's roads(S) construction (path_S × roads-USA).
+func CartesianProductPath(base *graph.Graph, s int) *graph.Graph {
+	nb := base.NumNodes()
+	n := nb * s
+	b := graph.NewBuilder(n, s*base.NumEdges()+(s-1)*nb)
+	for layer := 0; layer < s; layer++ {
+		off := graph.NodeID(layer * nb)
+		base.ForEachEdge(func(u, v graph.NodeID, w float64) {
+			b.AddEdge(off+u, off+v, w)
+		})
+		if layer+1 < s {
+			for u := 0; u < nb; u++ {
+				b.AddEdge(off+graph.NodeID(u), off+graph.NodeID(u+nb), 1)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,310 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"graphdiam/internal/cc"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("path shape: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Fatal("path degrees wrong")
+	}
+	if !cc.IsConnected(g) {
+		t.Fatal("path disconnected")
+	}
+}
+
+func TestWeightedPath(t *testing.T) {
+	g := WeightedPath([]float64{3, 1, 4})
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatal("weighted path shape")
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 1 {
+		t.Fatalf("edge (1,2) weight %v", w)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.NumNodes() != 6 || g.NumEdges() != 6 {
+		t.Fatal("cycle shape")
+	}
+	for u := graph.NodeID(0); u < 6; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("cycle degree of %d is %d", u, g.Degree(u))
+		}
+	}
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(10)
+	if s.Degree(0) != 9 || s.NumEdges() != 9 {
+		t.Fatal("star shape")
+	}
+	k := Complete(6)
+	if k.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d", k.NumEdges())
+	}
+	for u := graph.NodeID(0); u < 6; u++ {
+		if k.Degree(u) != 5 {
+			t.Fatal("K6 degree wrong")
+		}
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(15)
+	if g.NumEdges() != 14 || !cc.IsConnected(g) {
+		t.Fatal("binary tree shape")
+	}
+	if g.Degree(0) != 2 {
+		t.Fatal("root degree wrong")
+	}
+}
+
+func TestMesh(t *testing.T) {
+	const s = 8
+	g := Mesh(s)
+	if g.NumNodes() != s*s {
+		t.Fatalf("mesh nodes = %d, want %d", g.NumNodes(), s*s)
+	}
+	if g.NumEdges() != 2*s*(s-1) {
+		t.Fatalf("mesh edges = %d, want %d (paper: m = 2S(S-1))", g.NumEdges(), 2*s*(s-1))
+	}
+	// Corners have degree 2, edges 3, interior 4.
+	if g.Degree(0) != 2 {
+		t.Fatal("corner degree wrong")
+	}
+	if g.Degree(1) != 3 {
+		t.Fatal("border degree wrong")
+	}
+	if g.Degree(graph.NodeID(s+1)) != 4 {
+		t.Fatal("interior degree wrong")
+	}
+	if !cc.IsConnected(g) {
+		t.Fatal("mesh disconnected")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	const s = 6
+	g := Torus(s)
+	if g.NumNodes() != s*s || g.NumEdges() != 2*s*s {
+		t.Fatalf("torus shape: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < s*s; u++ {
+		if g.Degree(graph.NodeID(u)) != 4 {
+			t.Fatalf("torus degree of %d is %d", u, g.Degree(graph.NodeID(u)))
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	r := rng.New(7)
+	g := GNM(100, 400, r)
+	if g.NumNodes() != 100 {
+		t.Fatal("GNM node count")
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 400 {
+		t.Fatalf("GNM edges = %d", g.NumEdges())
+	}
+}
+
+func TestCartesianProductPath(t *testing.T) {
+	base := Path(3) // 3 nodes, 2 edges
+	g := CartesianProductPath(base, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("product nodes = %d, want 12", g.NumNodes())
+	}
+	// 4 copies × 2 edges + 3 inter-layer sets × 3 nodes = 8 + 9 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("product edges = %d, want 17", g.NumEdges())
+	}
+	if !cc.IsConnected(g) {
+		t.Fatal("product disconnected")
+	}
+	// Corresponding nodes of consecutive layers are adjacent.
+	if !g.HasEdge(0, 3) || !g.HasEdge(5, 8) {
+		t.Fatal("inter-layer edges missing")
+	}
+	// Layer-internal edges replicate base weights.
+	if w, ok := g.EdgeWeight(9, 10); !ok || w != 1 {
+		t.Fatal("top-layer base edge missing")
+	}
+}
+
+func TestCartesianProductDegenerate(t *testing.T) {
+	base := Path(4)
+	g := CartesianProductPath(base, 1)
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatal("s=1 product should equal base")
+	}
+}
+
+func TestRMatShape(t *testing.T) {
+	r := rng.New(3)
+	const scale = 10
+	g := RMatDefault(scale, r)
+	if g.NumNodes() != 1<<scale {
+		t.Fatalf("rmat nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 16<<scale {
+		t.Fatalf("rmat edges = %d", g.NumEdges())
+	}
+}
+
+func TestRMatPowerLawish(t *testing.T) {
+	// The R-MAT degree distribution must be heavily skewed: the maximum
+	// degree should far exceed the average degree, unlike G(n,m).
+	r := rng.New(5)
+	g := RMatDefault(12, r)
+	s := g.Stats()
+	avg := 2 * float64(s.NumEdges) / float64(s.NumNodes)
+	if float64(s.MaxDegree) < 8*avg {
+		t.Fatalf("rmat max degree %d not skewed vs avg %.1f", s.MaxDegree, avg)
+	}
+}
+
+func TestRMatDeterminism(t *testing.T) {
+	a := RMatDefault(8, rng.New(9))
+	b := RMatDefault(8, rng.New(9))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestRoadNetwork(t *testing.T) {
+	r := rng.New(11)
+	g := RoadNetwork(DefaultRoadNetworkOptions(40), r)
+	if !cc.IsConnected(g) {
+		t.Fatal("road network must be its largest connected component")
+	}
+	s := g.Stats()
+	if s.MaxDegree > 4 {
+		t.Fatalf("road network degree %d > 4", s.MaxDegree)
+	}
+	if s.NumNodes < 40*40/2 {
+		t.Fatalf("road network lost too many nodes: %d", s.NumNodes)
+	}
+	// Integral weights >= 1.
+	bad := false
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if w < 1 || w != math.Trunc(w) {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("road weights must be positive integers")
+	}
+}
+
+func TestRoadNetworkPanicsOnTinySide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for side < 2")
+		}
+	}()
+	RoadNetwork(DefaultRoadNetworkOptions(1), rng.New(1))
+}
+
+func TestRoads(t *testing.T) {
+	r := rng.New(13)
+	g := Roads(3, 16, r)
+	if !cc.IsConnected(g) {
+		t.Fatal("roads(S) disconnected")
+	}
+	base := RoadNetwork(DefaultRoadNetworkOptions(16), rng.New(13))
+	if g.NumNodes() != 3*base.NumNodes() {
+		t.Fatalf("roads(3) nodes = %d, want %d", g.NumNodes(), 3*base.NumNodes())
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	g := UniformWeights(Mesh(6), rng.New(1))
+	ok := true
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if w <= 0 || w > 1 {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Fatal("uniform weights outside (0,1]")
+	}
+	if g.NumEdges() != Mesh(6).NumEdges() {
+		t.Fatal("reweighting changed topology")
+	}
+}
+
+func TestIntegralUniformWeights(t *testing.T) {
+	g := IntegralUniformWeights(Cycle(20), 10, rng.New(2))
+	ok := true
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if w < 1 || w > 10 || w != math.Trunc(w) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Fatal("integral weights out of range")
+	}
+}
+
+func TestBimodalWeights(t *testing.T) {
+	g := BimodalWeights(Mesh(20), 1e-6, 1, 0.1, rng.New(3))
+	heavy, light := 0, 0
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		switch w {
+		case 1:
+			heavy++
+		case 1e-6:
+			light++
+		default:
+			t.Fatalf("unexpected weight %v", w)
+		}
+	})
+	total := heavy + light
+	frac := float64(heavy) / float64(total)
+	if frac < 0.05 || frac > 0.2 {
+		t.Fatalf("heavy fraction %.3f, want ~0.1", frac)
+	}
+}
+
+func TestExponentialWeights(t *testing.T) {
+	g := ExponentialWeights(Cycle(50), 2.0, rng.New(4))
+	sum := 0.0
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if w <= 0 {
+			t.Fatalf("non-positive weight %v", w)
+		}
+		sum += w
+	})
+	mean := sum / float64(g.NumEdges())
+	if mean < 0.5 || mean > 8 {
+		t.Fatalf("exp weights mean %v implausible for scale 2", mean)
+	}
+}
+
+func BenchmarkMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Mesh(128)
+	}
+}
+
+func BenchmarkRMat16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMatDefault(14, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkRoadNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RoadNetwork(DefaultRoadNetworkOptions(64), rng.New(uint64(i)))
+	}
+}

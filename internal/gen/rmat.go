@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// RMatParams holds the recursive quadrant probabilities of the R-MAT model.
+// They must be positive and sum to 1.
+type RMatParams struct {
+	A, B, C, D float64
+}
+
+// DefaultRMatParams are the Graph500/Chakrabarti defaults producing
+// power-law degree distributions.
+var DefaultRMatParams = RMatParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// RMat generates an R-MAT(scale) graph: 2^scale nodes and
+// edgeFactor·2^scale directed edge samples, symmetrized, with self-loops
+// dropped and duplicates collapsed — mirroring the paper's R-MAT(S) family
+// (edgeFactor 16). The realized undirected edge count is therefore below
+// edgeFactor·2^scale.
+func RMat(scale, edgeFactor int, p RMatParams, r *rng.RNG) *graph.Graph {
+	n := 1 << uint(scale)
+	samples := edgeFactor * n
+	b := graph.NewBuilder(n, samples)
+	ab := p.A + p.B
+	abc := ab + p.C
+	for i := 0; i < samples; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			x := r.Float64()
+			switch {
+			case x < p.A:
+				// top-left: no bits set
+			case x < ab:
+				v |= 1 << uint(bit)
+			case x < abc:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+		}
+	}
+	return b.Build()
+}
+
+// RMatDefault generates R-MAT(scale) with the paper's edge factor of 16 and
+// the default quadrant probabilities.
+func RMatDefault(scale int, r *rng.RNG) *graph.Graph {
+	return RMat(scale, 16, DefaultRMatParams, r)
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math"
+
+	"graphdiam/internal/cc"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// RoadNetworkOptions configures the synthetic road-network generator.
+type RoadNetworkOptions struct {
+	// Side is the side length of the underlying lattice; the raw graph has
+	// Side² candidate intersections.
+	Side int
+	// DeleteProb is the probability that a lattice edge is absent,
+	// producing the irregular, sparse connectivity of real road networks.
+	DeleteProb float64
+	// Jitter is the positional perturbation of each intersection within its
+	// unit cell, in [0, 0.5); edge weights are rounded Euclidean lengths.
+	Jitter float64
+	// WeightScale multiplies Euclidean lengths before rounding up to an
+	// integer, matching the integral weights of the DIMACS road inputs.
+	WeightScale float64
+}
+
+// DefaultRoadNetworkOptions mirror the qualitative properties of the DIMACS
+// roads inputs: ~20% missing segments, noticeable jitter, integral weights.
+func DefaultRoadNetworkOptions(side int) RoadNetworkOptions {
+	return RoadNetworkOptions{Side: side, DeleteProb: 0.2, Jitter: 0.3, WeightScale: 1000}
+}
+
+// RoadNetwork generates a synthetic road network: a jittered Side×Side
+// lattice with random edge deletions, restricted to its largest connected
+// component, with positive integral weights proportional to Euclidean edge
+// lengths. It stands in for the proprietary DIMACS roads-USA / roads-CAL
+// benchmarks: near-planar, max degree 4, large weighted and unweighted
+// diameter. See DESIGN.md ("Substitutions").
+func RoadNetwork(opt RoadNetworkOptions, r *rng.RNG) *graph.Graph {
+	s := opt.Side
+	if s < 2 {
+		panic("gen: RoadNetwork side must be >= 2")
+	}
+	// Jittered coordinates of each intersection.
+	xs := make([]float64, s*s)
+	ys := make([]float64, s*s)
+	for row := 0; row < s; row++ {
+		for col := 0; col < s; col++ {
+			i := row*s + col
+			xs[i] = float64(col) + (r.Float64()*2-1)*opt.Jitter
+			ys[i] = float64(row) + (r.Float64()*2-1)*opt.Jitter
+		}
+	}
+	weight := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		w := math.Ceil(math.Hypot(dx, dy) * opt.WeightScale)
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	b := graph.NewBuilder(s*s, 2*s*(s-1))
+	for row := 0; row < s; row++ {
+		for col := 0; col < s; col++ {
+			i := row*s + col
+			if col+1 < s && !r.Bernoulli(opt.DeleteProb) {
+				b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), weight(i, i+1))
+			}
+			if row+1 < s && !r.Bernoulli(opt.DeleteProb) {
+				b.AddEdge(graph.NodeID(i), graph.NodeID(i+s), weight(i, i+s))
+			}
+		}
+	}
+	g, _ := cc.LargestComponent(b.Build())
+	return g
+}
+
+// Roads builds the paper's roads(S) family: the cartesian product of a
+// linear array of S nodes with a base synthetic road network of the given
+// lattice side. Inter-layer edges have unit weight, as in the paper.
+func Roads(s, baseSide int, r *rng.RNG) *graph.Graph {
+	base := RoadNetwork(DefaultRoadNetworkOptions(baseSide), r)
+	if s <= 1 {
+		return base
+	}
+	return CartesianProductPath(base, s)
+}

@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"math"
+
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// UniformWeights returns a copy of g with i.i.d. uniform (0,1] edge
+// weights — the paper's convention for originally-unweighted benchmarks
+// (social networks, meshes, R-MAT graphs).
+func UniformWeights(g *graph.Graph, r *rng.RNG) *graph.Graph {
+	return g.ReweightUniform(r.Float64Open)
+}
+
+// IntegralUniformWeights returns a copy of g with integral weights drawn
+// uniformly from {1, …, max}. The paper assumes positive integral weights
+// polynomial in n for its theoretical analysis.
+func IntegralUniformWeights(g *graph.Graph, maxW int, r *rng.RNG) *graph.Graph {
+	if maxW < 1 {
+		panic("gen: IntegralUniformWeights max must be >= 1")
+	}
+	return g.ReweightUniform(func() float64 {
+		return float64(1 + r.Intn(maxW))
+	})
+}
+
+// BimodalWeights returns a copy of g where each edge has weight heavy with
+// probability pHeavy and weight light otherwise. This is the weight
+// distribution of the paper's Δ-sensitivity experiment on mesh(2048):
+// heavy = 1 w.p. 0.1, light = 1e-6 otherwise.
+func BimodalWeights(g *graph.Graph, light, heavy, pHeavy float64, r *rng.RNG) *graph.Graph {
+	return g.ReweightUniform(func() float64 {
+		if r.Bernoulli(pHeavy) {
+			return heavy
+		}
+		return light
+	})
+}
+
+// ExponentialWeights returns a copy of g with i.i.d. Exp(1) weights scaled
+// by scale, useful for skewed-weight stress tests.
+func ExponentialWeights(g *graph.Graph, scale float64, r *rng.RNG) *graph.Graph {
+	return g.ReweightUniform(func() float64 {
+		w := r.Exp() * scale
+		if w <= 0 {
+			w = math.SmallestNonzeroFloat64
+		}
+		return w
+	})
+}

@@ -1,0 +1,243 @@
+// Package gio reads and writes weighted graphs in the interchange formats
+// used by the shortest-path community and by this repository's tools:
+//
+//   - DIMACS shortest-path format (".gr", the format of the 9th DIMACS
+//     Implementation Challenge road networks the paper benchmarks on);
+//   - plain whitespace-separated edge lists ("u v w" per line, '#' comments);
+//   - a compact little-endian binary format for fast reload of generated
+//     benchmark graphs.
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphdiam/internal/graph"
+)
+
+// ReadDIMACS parses a DIMACS ".gr" graph. Lines:
+//
+//	c <comment>
+//	p sp <n> <m>
+//	a <u> <v> <w>      (1-based node IDs, directed arc records)
+//
+// Road-network files list each undirected edge as two arcs; the builder's
+// deduplication collapses them.
+func ReadDIMACS(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *graph.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			// comment
+		case "p":
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("gio: line %d: malformed problem line", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("gio: line %d: bad node count %q", line, fields[2])
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("gio: line %d: bad edge count %q", line, fields[3])
+			}
+			b = graph.NewBuilder(n, m)
+		case "a":
+			if b == nil {
+				return nil, fmt.Errorf("gio: line %d: arc before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("gio: line %d: malformed arc line", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad source %q", line, fields[1])
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad target %q", line, fields[2])
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad weight %q", line, fields[3])
+			}
+			if u < 1 || v < 1 || u > b.NumNodes() || v > b.NumNodes() {
+				return nil, fmt.Errorf("gio: line %d: node ID out of range", line)
+			}
+			if u != v {
+				b.AddEdge(graph.NodeID(u-1), graph.NodeID(v-1), w)
+			}
+		default:
+			return nil, fmt.Errorf("gio: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("gio: missing problem line")
+	}
+	return b.Build(), nil
+}
+
+// WriteDIMACS writes g in DIMACS ".gr" format (each undirected edge as two
+// arcs, 1-based IDs), mirroring what ReadDIMACS accepts.
+func WriteDIMACS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "c graphdiam export\np sp %d %d\n", g.NumNodes(), 2*g.NumEdges())
+	var err error
+	g.ForEachEdge(func(u, v graph.NodeID, wt float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "a %d %d %v\na %d %d %v\n", u+1, v+1, wt, v+1, u+1, wt)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a whitespace edge list with 0-based node IDs:
+// "u v w" per line, blank lines and lines starting with '#' ignored.
+// The node count is one more than the maximum ID seen.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type rec struct {
+		u, v graph.NodeID
+		w    float64
+	}
+	var recs []rec
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("gio: line %d: want 'u v w', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("gio: line %d: bad node %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("gio: line %d: bad node %q", line, fields[1])
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad weight %q", line, fields[2])
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		recs = append(recs, rec{graph.NodeID(u), graph.NodeID(v), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(maxID+1, len(recs))
+	for _, e := range recs {
+		if e.u != e.v {
+			b.AddEdge(e.u, e.v, e.w)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g as a 0-based "u v w" edge list.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.ForEachEdge(func(u, v graph.NodeID, wt float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d %d %v\n", u, v, wt)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = 0x47444d31 // "GDM1"
+
+// WriteBinary writes g in the compact binary format:
+// magic, n, m (uint64), then m records of (u uint32, v uint32, w float64).
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, uint64(g.NumNodes()), uint64(g.NumEdges())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	var err error
+	g.ForEachEdge(func(u, v graph.NodeID, wt float64) {
+		if err != nil {
+			return
+		}
+		if err = binary.Write(bw, binary.LittleEndian, u); err != nil {
+			return
+		}
+		if err = binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return
+		}
+		err = binary.Write(bw, binary.LittleEndian, wt)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, n, m uint64
+	for _, p := range []*uint64{&magic, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("gio: short binary header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("gio: bad magic %#x", magic)
+	}
+	b := graph.NewBuilder(int(n), int(m))
+	for i := uint64(0); i < m; i++ {
+		var u, v uint32
+		var w float64
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, fmt.Errorf("gio: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("gio: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &w); err != nil {
+			return nil, fmt.Errorf("gio: edge %d: %w", i, err)
+		}
+		b.AddEdge(u, v, w)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,158 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphdiam/internal/graph"
+)
+
+func sample() *graph.Graph {
+	b := graph.NewBuilder(4, 4)
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 0.25)
+	b.AddEdge(0, 3, 7)
+	return b.Build()
+}
+
+func graphsEqual(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: (%d,%d) vs (%d,%d)",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	a.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		w2, ok := b.EdgeWeight(u, v)
+		if !ok || w2 != w {
+			t.Fatalf("edge (%d,%d,%v) missing or changed: (%v,%v)", u, v, w, w2, ok)
+		}
+	})
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestReadDIMACSHandWritten(t *testing.T) {
+	in := `c tiny road network
+p sp 3 4
+a 1 2 10
+a 2 1 10
+a 2 3 5
+a 3 2 5
+`
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 10 {
+		t.Fatalf("edge (0,1): %v %v", w, ok)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem line":   "a 1 2 3\n",
+		"bad problem":       "p sp x 3\n",
+		"wrong format":      "p max 3 3\n",
+		"short arc":         "p sp 2 1\na 1 2\n",
+		"bad weight":        "p sp 2 1\na 1 2 zebra\n",
+		"node out of range": "p sp 2 1\na 1 5 1\n",
+		"unknown record":    "p sp 2 1\nz 1 2 3\n",
+		"empty":             "",
+	}
+	for name, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := `# header comment
+0 1 2.5
+
+# another
+1 2 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"two fields":    "0 1\n",
+		"negative node": "-1 2 1\n",
+		"bad weight":    "0 1 x\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 24)) // zero header
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

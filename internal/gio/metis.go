@@ -1,0 +1,124 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphdiam/internal/graph"
+)
+
+// ReadMETIS parses a graph in METIS format with edge weights (fmt code
+// "001"): a header line "n m [fmt]" followed by one line per node listing
+// "neighbor weight" pairs with 1-based node IDs. Comment lines start
+// with '%'. Without the weight flag, unit weights are assumed.
+func ReadMETIS(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *graph.Builder
+	weighted := false
+	node := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) < 2 || len(fields) > 4 {
+				return nil, fmt.Errorf("gio: line %d: malformed METIS header", line)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("gio: line %d: bad node count", line)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("gio: line %d: bad edge count", line)
+			}
+			if len(fields) >= 3 {
+				code := fields[2]
+				if len(code) == 3 && code[2] == '1' {
+					weighted = true
+				}
+				if len(code) == 3 && code[1] == '1' {
+					return nil, fmt.Errorf("gio: METIS node weights unsupported")
+				}
+			}
+			b = graph.NewBuilder(n, m)
+			continue
+		}
+		node++
+		if node > b.NumNodes() {
+			return nil, fmt.Errorf("gio: line %d: more adjacency lines than nodes", line)
+		}
+		if weighted {
+			if len(fields)%2 != 0 {
+				return nil, fmt.Errorf("gio: line %d: odd field count in weighted METIS line", line)
+			}
+			for i := 0; i < len(fields); i += 2 {
+				v, err := strconv.Atoi(fields[i])
+				if err != nil || v < 1 || v > b.NumNodes() {
+					return nil, fmt.Errorf("gio: line %d: bad neighbor %q", line, fields[i])
+				}
+				w, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("gio: line %d: bad weight %q", line, fields[i+1])
+				}
+				if v != node {
+					b.AddEdge(graph.NodeID(node-1), graph.NodeID(v-1), w)
+				}
+			}
+		} else {
+			for _, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil || v < 1 || v > b.NumNodes() {
+					return nil, fmt.Errorf("gio: line %d: bad neighbor %q", line, f)
+				}
+				if v != node {
+					b.AddEdge(graph.NodeID(node-1), graph.NodeID(v-1), 1)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("gio: missing METIS header")
+	}
+	if node < b.NumNodes() {
+		return nil, fmt.Errorf("gio: %d adjacency lines for %d nodes", node, b.NumNodes())
+	}
+	return b.Build(), nil
+}
+
+// WriteMETIS writes g in weighted METIS format ("001").
+func WriteMETIS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		ts, ws := g.Neighbors(graph.NodeID(u))
+		for i, v := range ts {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d %v", v+1, ws[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,86 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestReadMETISUnweighted(t *testing.T) {
+	in := `% a triangle
+3 3
+2 3
+1 3
+1 2
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 1 {
+		t.Fatal("unweighted METIS should have unit weights")
+	}
+}
+
+func TestReadMETISWeighted(t *testing.T) {
+	in := `2 1 001
+2 2.5
+1 2.5
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 2.5 {
+		t.Fatalf("weight = %v, %v", w, ok)
+	}
+}
+
+func TestReadMETISIsolatedNodes(t *testing.T) {
+	in := `3 1
+2
+1
+
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 1 || g.Degree(2) != 0 {
+		t.Fatalf("n=%d m=%d deg2=%d", g.NumNodes(), g.NumEdges(), g.Degree(2))
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header":        "x y\n",
+		"node weights":      "2 1 011\n2\n1\n",
+		"bad neighbor":      "2 1\n5\n1\n",
+		"odd weighted line": "2 1 001\n2\n1 1\n",
+		"too few lines":     "3 1\n2\n1\n",
+		"too many lines":    "1 0\n\n\n2\n",
+		"bad weight":        "2 1 001\n2 x\n1 x\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

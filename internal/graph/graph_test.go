@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/rng"
+)
+
+// triangle returns the 3-cycle 0-1-2 with weights 1, 2, 3.
+func triangle() *Graph {
+	b := NewBuilder(3, 3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 0, 3)
+	return b.Build()
+}
+
+func TestBasicShape(t *testing.T) {
+	g := triangle()
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	for u := NodeID(0); u < 3; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("Degree(%d) = %d, want 2", u, g.Degree(u))
+		}
+	}
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	g := triangle()
+	for u := NodeID(0); u < 3; u++ {
+		ts, ws := g.Neighbors(u)
+		if len(ts) != len(ws) {
+			t.Fatal("target/weight slices differ in length")
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i-1] >= ts[i] {
+				t.Fatalf("adjacency of %d not strictly sorted: %v", u, ts)
+			}
+		}
+		for i, v := range ts {
+			w2, ok := g.EdgeWeight(v, u)
+			if !ok || w2 != ws[i] {
+				t.Fatalf("edge (%d,%d) asymmetric: %v vs (%v,%v)", u, v, ws[i], w2, ok)
+			}
+		}
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	g := triangle()
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 1 {
+		t.Fatalf("EdgeWeight(0,1) = %v,%v", w, ok)
+	}
+	if w, ok := g.EdgeWeight(2, 1); !ok || w != 2 {
+		t.Fatalf("EdgeWeight(2,1) = %v,%v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(0, 0); ok {
+		t.Fatal("self edge should not exist")
+	}
+	if g.HasEdge(0, 2) != true {
+		t.Fatal("HasEdge(0,2) false")
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddEdge(0, 0, 5)
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (self-loop dropped)", g.NumEdges())
+	}
+}
+
+func TestParallelEdgesKeepMin(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 0, 9)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 2 {
+		t.Fatalf("kept weight %v, want min 2", w)
+	}
+}
+
+func TestInvalidWeightPanics(t *testing.T) {
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %v did not panic", w)
+				}
+			}()
+			b := NewBuilder(2, 1)
+			b.AddEdge(0, 1, w)
+		}()
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	b := NewBuilder(2, 1)
+	b.AddEdge(0, 2, 1)
+}
+
+func TestForEachEdgeVisitsOncePerEdge(t *testing.T) {
+	g := triangle()
+	count := 0
+	sum := 0.0
+	g.ForEachEdge(func(u, v NodeID, w float64) {
+		if u >= v {
+			t.Fatalf("ForEachEdge order violated: %d >= %d", u, v)
+		}
+		count++
+		sum += w
+	})
+	if count != 3 || sum != 6 {
+		t.Fatalf("count=%d sum=%v, want 3 and 6", count, sum)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := triangle()
+	s := g.Stats()
+	if s.NumNodes != 3 || s.NumEdges != 3 {
+		t.Fatalf("stats shape: %+v", s)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 3 {
+		t.Fatalf("min/max: %+v", s)
+	}
+	if math.Abs(s.AvgWeight-2) > 1e-12 {
+		t.Fatalf("avg: %v", s.AvgWeight)
+	}
+	if s.MaxDegree != 2 {
+		t.Fatalf("max degree: %d", s.MaxDegree)
+	}
+	if triangle().AvgEdgeWeight() != s.AvgWeight {
+		t.Fatal("AvgEdgeWeight disagrees with Stats")
+	}
+	if triangle().MinEdgeWeight() != 1 || triangle().MaxEdgeWeight() != 3 {
+		t.Fatal("Min/MaxEdgeWeight mismatch")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(5, 0).Build()
+	if g.NumNodes() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph shape: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	s := g.Stats()
+	if s.MinWeight != 0 || s.MaxWeight != 0 || s.AvgWeight != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+	if !math.IsInf(g.MinEdgeWeight(), 1) {
+		t.Fatal("MinEdgeWeight of edgeless graph should be +Inf")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(3, []NodeID{0, 1}, []NodeID{1, 2}, []float64{1, 2})
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slices did not panic")
+		}
+	}()
+	FromEdges(3, []NodeID{0}, []NodeID{1, 2}, []float64{1})
+}
+
+func TestBuilderReuse(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 1, 1)
+	g1 := b.Build()
+	b.AddEdge(1, 2, 1)
+	g2 := b.Build()
+	if g1.NumEdges() != 1 || g2.NumEdges() != 1 {
+		t.Fatalf("builder reuse leaked edges: %d, %d", g1.NumEdges(), g2.NumEdges())
+	}
+	if !g2.HasEdge(1, 2) || g2.HasEdge(0, 1) {
+		t.Fatal("second build contains wrong edges")
+	}
+}
+
+func TestReweightUniformPreservesTopology(t *testing.T) {
+	g := triangle()
+	r := rng.New(1)
+	h := g.ReweightUniform(r.Float64Open)
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatal("reweight changed topology")
+	}
+	h.ForEachEdge(func(u, v NodeID, w float64) {
+		if !g.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) not in original", u, v)
+		}
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight %v outside (0,1]", w)
+		}
+	})
+}
+
+func TestSubgraph(t *testing.T) {
+	// Path 0-1-2-3 plus edge 0-3.
+	b := NewBuilder(4, 4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 3)
+	b.AddEdge(0, 3, 4)
+	g := b.Build()
+	sub, orig := g.Subgraph([]NodeID{1, 3, 2, 3}) // dup 3 on purpose
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub nodes = %d, want 3", sub.NumNodes())
+	}
+	if len(orig) != 3 || orig[0] != 1 || orig[1] != 2 || orig[2] != 3 {
+		t.Fatalf("orig map = %v", orig)
+	}
+	// Edges within {1,2,3}: 1-2 (w 2), 2-3 (w 3).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub edges = %d, want 2", sub.NumEdges())
+	}
+	if w, ok := sub.EdgeWeight(0, 1); !ok || w != 2 {
+		t.Fatalf("sub edge (0,1): %v %v", w, ok)
+	}
+	if w, ok := sub.EdgeWeight(1, 2); !ok || w != 3 {
+		t.Fatalf("sub edge (1,2): %v %v", w, ok)
+	}
+}
+
+// Property: building from a random edge multiset yields a graph whose
+// degree sum equals twice the edge count, all adjacencies sorted, and every
+// stored weight is the minimum over the parallel class.
+func TestBuildProperties(t *testing.T) {
+	check := func(seed uint64, nEdges uint8) bool {
+		r := rng.New(seed)
+		const n = 16
+		type key struct{ u, v NodeID }
+		min := map[key]float64{}
+		b := NewBuilder(n, int(nEdges))
+		for i := 0; i < int(nEdges); i++ {
+			u := NodeID(r.Intn(n))
+			v := NodeID(r.Intn(n))
+			w := r.Float64() + 0.001
+			b.AddEdge(u, v, w)
+			if u == v {
+				continue
+			}
+			k := key{u, v}
+			if u > v {
+				k = key{v, u}
+			}
+			if old, ok := min[k]; !ok || w < old {
+				min[k] = w
+			}
+		}
+		g := b.Build()
+		if g.NumEdges() != len(min) {
+			return false
+		}
+		degSum := 0
+		for u := 0; u < n; u++ {
+			degSum += g.Degree(NodeID(u))
+		}
+		if degSum != 2*g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.ForEachEdge(func(u, v NodeID, w float64) {
+			if min[key{u, v}] != w {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(2)
+	const n, m = 1 << 14, 1 << 16
+	us := make([]NodeID, m)
+	vs := make([]NodeID, m)
+	ws := make([]float64, m)
+	for i := 0; i < m; i++ {
+		us[i] = NodeID(r.Intn(n))
+		vs[i] = NodeID(r.Intn(n))
+		if us[i] == vs[i] {
+			vs[i] = (vs[i] + 1) % n
+		}
+		ws[i] = r.Float64() + 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(n, us, vs, ws)
+	}
+}
+
+func BenchmarkNeighborScan(b *testing.B) {
+	r := rng.New(3)
+	const n, m = 1 << 14, 1 << 17
+	bld := NewBuilder(n, m)
+	for i := 0; i < m; i++ {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u != v {
+			bld.AddEdge(u, v, 1)
+		}
+	}
+	g := bld.Build()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < n; u++ {
+			_, ws := g.Neighbors(NodeID(u))
+			for _, w := range ws {
+				sink += w
+			}
+		}
+	}
+	_ = sink
+}

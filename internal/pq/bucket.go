@@ -1,0 +1,125 @@
+package pq
+
+// BucketQueue is the cyclic bucket structure used by Δ-stepping
+// (Meyer & Sanders, J. Algorithms 2003). Item i with tentative distance d
+// lives in bucket floor(d/Δ) mod numBuckets. Because Δ-stepping settles
+// buckets in increasing order and no edge relaxation can move an item more
+// than maxWeight/Δ buckets ahead, a cyclic array of
+// ceil(maxWeight/Δ)+1 buckets suffices.
+//
+// The queue stores each item at most once and supports moving an item
+// between buckets when its tentative distance decreases.
+type BucketQueue struct {
+	delta   float64
+	buckets [][]int32 // cyclic array of buckets holding item IDs
+	where   []int32   // where[id] = absolute bucket index, or -1
+	slot    []int32   // slot[id] = index within its bucket
+	size    int
+	lowest  int // absolute index of the lowest non-empty bucket candidate
+}
+
+// NewBucketQueue returns a bucket queue with bucket width delta for item IDs
+// in [0, n). numBuckets must exceed maxEdgeWeight/delta; the constructor
+// takes it directly so callers can size it from graph statistics.
+func NewBucketQueue(n int, delta float64, numBuckets int) *BucketQueue {
+	if delta <= 0 {
+		panic("pq: BucketQueue delta must be positive")
+	}
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	q := &BucketQueue{
+		delta:   delta,
+		buckets: make([][]int32, numBuckets),
+		where:   make([]int32, n),
+		slot:    make([]int32, n),
+	}
+	for i := range q.where {
+		q.where[i] = -1
+	}
+	return q
+}
+
+// Delta returns the bucket width.
+func (q *BucketQueue) Delta() float64 { return q.delta }
+
+// Len reports the number of queued items.
+func (q *BucketQueue) Len() int { return q.size }
+
+// BucketIndex returns the absolute bucket index for distance d.
+func (q *BucketQueue) BucketIndex(d float64) int {
+	return int(d / q.delta)
+}
+
+// Update places id into the bucket for distance d, moving it from its
+// current bucket if queued. Callers must only decrease distances.
+func (q *BucketQueue) Update(id int, d float64) {
+	b := q.BucketIndex(d)
+	if q.where[id] == int32(b) {
+		return
+	}
+	if q.where[id] >= 0 {
+		q.removeFrom(id)
+	}
+	q.insertInto(id, b)
+	if q.size == 1 || b < q.lowest {
+		q.lowest = b
+	}
+}
+
+// Remove deletes id from the queue if present.
+func (q *BucketQueue) Remove(id int) {
+	if q.where[id] >= 0 {
+		q.removeFrom(id)
+	}
+}
+
+// Contains reports whether id is queued.
+func (q *BucketQueue) Contains(id int) bool { return q.where[id] >= 0 }
+
+// NextBucket advances to and returns the absolute index of the lowest
+// non-empty bucket, or -1 if the queue is empty.
+func (q *BucketQueue) NextBucket() int {
+	if q.size == 0 {
+		return -1
+	}
+	for q.len(q.lowest) == 0 {
+		q.lowest++
+	}
+	return q.lowest
+}
+
+// DrainBucket removes every item from absolute bucket b and appends the IDs
+// to dst, returning the extended slice.
+func (q *BucketQueue) DrainBucket(b int, dst []int32) []int32 {
+	bucket := q.buckets[b%len(q.buckets)]
+	for _, id := range bucket {
+		q.where[id] = -1
+	}
+	dst = append(dst, bucket...)
+	q.size -= len(bucket)
+	q.buckets[b%len(q.buckets)] = bucket[:0]
+	return dst
+}
+
+func (q *BucketQueue) len(b int) int { return len(q.buckets[b%len(q.buckets)]) }
+
+func (q *BucketQueue) insertInto(id, b int) {
+	idx := b % len(q.buckets)
+	q.slot[id] = int32(len(q.buckets[idx]))
+	q.buckets[idx] = append(q.buckets[idx], int32(id))
+	q.where[id] = int32(b)
+	q.size++
+}
+
+func (q *BucketQueue) removeFrom(id int) {
+	idx := int(q.where[id]) % len(q.buckets)
+	bucket := q.buckets[idx]
+	s := q.slot[id]
+	last := len(bucket) - 1
+	bucket[s] = bucket[last]
+	q.slot[bucket[s]] = s
+	q.buckets[idx] = bucket[:last]
+	q.where[id] = -1
+	q.size--
+}

@@ -1,0 +1,153 @@
+package pq
+
+import (
+	"testing"
+
+	"graphdiam/internal/rng"
+)
+
+func TestBucketQueueBasics(t *testing.T) {
+	q := NewBucketQueue(10, 1.0, 8)
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.Update(3, 0.5) // bucket 0
+	q.Update(4, 2.5) // bucket 2
+	q.Update(5, 2.9) // bucket 2
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if !q.Contains(3) || q.Contains(6) {
+		t.Fatal("Contains mismatch")
+	}
+	if b := q.NextBucket(); b != 0 {
+		t.Fatalf("NextBucket = %d, want 0", b)
+	}
+	ids := q.DrainBucket(0, nil)
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("DrainBucket(0) = %v, want [3]", ids)
+	}
+	if b := q.NextBucket(); b != 2 {
+		t.Fatalf("NextBucket = %d, want 2", b)
+	}
+	ids = q.DrainBucket(2, nil)
+	if len(ids) != 2 {
+		t.Fatalf("DrainBucket(2) returned %v", ids)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining all", q.Len())
+	}
+	if q.NextBucket() != -1 {
+		t.Fatal("NextBucket on empty queue should be -1")
+	}
+}
+
+func TestBucketQueueMoveOnDecrease(t *testing.T) {
+	q := NewBucketQueue(4, 1.0, 8)
+	q.Update(0, 3.5) // bucket 3
+	q.Update(0, 1.2) // moves to bucket 1
+	if b := q.NextBucket(); b != 1 {
+		t.Fatalf("NextBucket = %d, want 1", b)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("item duplicated across buckets: Len=%d", q.Len())
+	}
+	// Same-bucket update is a no-op.
+	q.Update(0, 1.9)
+	if q.Len() != 1 {
+		t.Fatalf("same-bucket update changed Len=%d", q.Len())
+	}
+}
+
+func TestBucketQueueRemove(t *testing.T) {
+	q := NewBucketQueue(4, 0.5, 8)
+	q.Update(1, 0.4)
+	q.Update(2, 0.45)
+	q.Remove(1)
+	if q.Contains(1) || q.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+	q.Remove(1) // removing twice is fine
+	ids := q.DrainBucket(q.NextBucket(), nil)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("drained %v, want [2]", ids)
+	}
+}
+
+func TestBucketQueueCyclicReuse(t *testing.T) {
+	// Buckets are reused mod numBuckets: drive the queue through many more
+	// buckets than exist physically, as Δ-stepping does.
+	q := NewBucketQueue(2, 1.0, 4)
+	cur := 0.0
+	for step := 0; step < 100; step++ {
+		q.Update(0, cur+0.5)
+		q.Update(1, cur+0.9)
+		b := q.NextBucket()
+		if b != int(cur) {
+			t.Fatalf("step %d: NextBucket = %d, want %d", step, b, int(cur))
+		}
+		ids := q.DrainBucket(b, nil)
+		if len(ids) != 2 {
+			t.Fatalf("step %d: drained %d items, want 2", step, len(ids))
+		}
+		cur++
+	}
+}
+
+func TestBucketQueuePanicsOnBadDelta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for delta <= 0")
+		}
+	}()
+	NewBucketQueue(1, 0, 4)
+}
+
+// Property-style test: simulate a monotone bucket sweep with random
+// decreases and check that every drained item's distance lies in the
+// drained bucket's range.
+func TestBucketQueueSweepInvariant(t *testing.T) {
+	const n = 200
+	r := rng.New(5)
+	delta := 0.25
+	q := NewBucketQueue(n, delta, 64)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = r.Float64() * 10
+		q.Update(i, dist[i])
+	}
+	drained := 0
+	for q.Len() > 0 {
+		b := q.NextBucket()
+		ids := q.DrainBucket(b, nil)
+		for _, id := range ids {
+			d := dist[id]
+			if int(d/delta) != b {
+				t.Fatalf("item %d with dist %v drained from bucket %d", id, d, b)
+			}
+			drained++
+		}
+	}
+	if drained != n {
+		t.Fatalf("drained %d items, want %d", drained, n)
+	}
+}
+
+func BenchmarkBucketQueueSweep(b *testing.B) {
+	const n = 1 << 14
+	r := rng.New(9)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = r.Float64() * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewBucketQueue(n, 0.5, 256)
+		for id, d := range dist {
+			q.Update(id, d)
+		}
+		for q.Len() > 0 {
+			q.DrainBucket(q.NextBucket(), nil)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package pq provides the priority-queue structures used by the shortest
+// path algorithms in graphdiam: an indexed binary min-heap and an indexed
+// 4-ary min-heap supporting DecreaseKey (for Dijkstra), and a cyclic bucket
+// queue (for Δ-stepping).
+//
+// All structures key items by dense integer IDs in [0, n), which matches the
+// node-ID space of internal/graph and avoids per-operation allocation.
+package pq
+
+// IndexedHeap is a binary min-heap over items identified by integers in
+// [0, n) with float64 priorities. It supports DecreaseKey in O(log n).
+type IndexedHeap struct {
+	items []int32   // heap array of item IDs
+	prio  []float64 // prio[id] = current priority of id
+	pos   []int32   // pos[id] = index in items, or -1 if absent
+}
+
+// NewIndexedHeap returns an empty heap for IDs in [0, n).
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		items: make([]int32, 0, 64),
+		prio:  make([]float64, n),
+		pos:   make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of items currently in the heap.
+func (h *IndexedHeap) Len() int { return len(h.items) }
+
+// Contains reports whether id is currently in the heap.
+func (h *IndexedHeap) Contains(id int) bool { return h.pos[id] >= 0 }
+
+// Priority returns the priority most recently assigned to id via Push or
+// DecreaseKey. It is only meaningful if id has been pushed at least once.
+func (h *IndexedHeap) Priority(id int) float64 { return h.prio[id] }
+
+// Push inserts id with the given priority. If id is already present, Push
+// behaves like DecreaseKey when p is smaller, and is a no-op otherwise.
+func (h *IndexedHeap) Push(id int, p float64) {
+	if h.pos[id] >= 0 {
+		if p < h.prio[id] {
+			h.prio[id] = p
+			h.siftUp(int(h.pos[id]))
+		}
+		return
+	}
+	h.prio[id] = p
+	h.pos[id] = int32(len(h.items))
+	h.items = append(h.items, int32(id))
+	h.siftUp(len(h.items) - 1)
+}
+
+// DecreaseKey lowers the priority of id to p. It is a no-op if id is absent
+// or p is not lower than the current priority.
+func (h *IndexedHeap) DecreaseKey(id int, p float64) {
+	if h.pos[id] < 0 || p >= h.prio[id] {
+		return
+	}
+	h.prio[id] = p
+	h.siftUp(int(h.pos[id]))
+}
+
+// Pop removes and returns the item with the minimum priority.
+// It panics if the heap is empty.
+func (h *IndexedHeap) Pop() (id int, p float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.pos[h.items[0]] = 0
+	h.items = h.items[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return int(top), h.prio[top]
+}
+
+// Reset empties the heap without releasing memory, so it can be reused for
+// another run over the same ID space.
+func (h *IndexedHeap) Reset() {
+	for _, id := range h.items {
+		h.pos[id] = -1
+	}
+	h.items = h.items[:0]
+}
+
+func (h *IndexedHeap) less(i, j int) bool {
+	return h.prio[h.items[i]] < h.prio[h.items[j]]
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = int32(i)
+	h.pos[h.items[j]] = int32(j)
+}
+
+func (h *IndexedHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

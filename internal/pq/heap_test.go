@@ -1,0 +1,191 @@
+package pq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/rng"
+)
+
+// minHeap abstracts the two indexed heaps so their tests are shared.
+type minHeap interface {
+	Push(id int, p float64)
+	DecreaseKey(id int, p float64)
+	Pop() (int, float64)
+	Len() int
+	Contains(id int) bool
+	Priority(id int) float64
+	Reset()
+}
+
+func heaps(n int) map[string]minHeap {
+	return map[string]minHeap{
+		"binary": NewIndexedHeap(n),
+		"quad":   NewQuadHeap(n),
+	}
+}
+
+func TestHeapPopOrder(t *testing.T) {
+	for name, h := range heaps(100) {
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(17)
+			want := make([]float64, 0, 100)
+			for i := 0; i < 100; i++ {
+				p := r.Float64()
+				h.Push(i, p)
+				want = append(want, p)
+			}
+			sort.Float64s(want)
+			for i := 0; i < 100; i++ {
+				_, p := h.Pop()
+				if p != want[i] {
+					t.Fatalf("pop %d: got prio %v, want %v", i, p, want[i])
+				}
+			}
+			if h.Len() != 0 {
+				t.Fatalf("heap not empty after draining: len=%d", h.Len())
+			}
+		})
+	}
+}
+
+func TestHeapDecreaseKey(t *testing.T) {
+	for name, h := range heaps(10) {
+		t.Run(name, func(t *testing.T) {
+			h.Push(0, 5)
+			h.Push(1, 3)
+			h.Push(2, 9)
+			h.DecreaseKey(2, 1)
+			id, p := h.Pop()
+			if id != 2 || p != 1 {
+				t.Fatalf("got (%d,%v), want (2,1)", id, p)
+			}
+			// Increase attempts are ignored.
+			h.DecreaseKey(1, 100)
+			id, p = h.Pop()
+			if id != 1 || p != 3 {
+				t.Fatalf("got (%d,%v), want (1,3)", id, p)
+			}
+		})
+	}
+}
+
+func TestHeapPushExistingActsAsDecrease(t *testing.T) {
+	for name, h := range heaps(4) {
+		t.Run(name, func(t *testing.T) {
+			h.Push(3, 10)
+			h.Push(3, 4) // decrease
+			h.Push(3, 7) // ignored
+			if h.Len() != 1 {
+				t.Fatalf("duplicate push grew heap: len=%d", h.Len())
+			}
+			id, p := h.Pop()
+			if id != 3 || p != 4 {
+				t.Fatalf("got (%d,%v), want (3,4)", id, p)
+			}
+		})
+	}
+}
+
+func TestHeapContainsAndReset(t *testing.T) {
+	for name, h := range heaps(8) {
+		t.Run(name, func(t *testing.T) {
+			h.Push(5, 1)
+			h.Push(6, 2)
+			if !h.Contains(5) || !h.Contains(6) || h.Contains(7) {
+				t.Fatal("Contains mismatch after pushes")
+			}
+			h.Pop()
+			if h.Contains(5) {
+				t.Fatal("popped item still reported present")
+			}
+			h.Reset()
+			if h.Len() != 0 || h.Contains(6) {
+				t.Fatal("Reset did not clear the heap")
+			}
+			// Heap is reusable after Reset.
+			h.Push(1, 9)
+			if id, p := h.Pop(); id != 1 || p != 9 {
+				t.Fatalf("heap unusable after Reset: got (%d,%v)", id, p)
+			}
+		})
+	}
+}
+
+// Property: for any sequence of pushes and decreases, popping drains items in
+// nondecreasing priority order and each ID appears at most once.
+func TestHeapPropertySortedDrain(t *testing.T) {
+	for name := range heaps(1) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			check := func(seed uint64, nOps uint16) bool {
+				n := 256
+				var h minHeap
+				if name == "binary" {
+					h = NewIndexedHeap(n)
+				} else {
+					h = NewQuadHeap(n)
+				}
+				r := rng.New(seed)
+				ops := int(nOps)%500 + 1
+				for i := 0; i < ops; i++ {
+					id := r.Intn(n)
+					p := r.Float64()
+					if r.Bernoulli(0.3) && h.Contains(id) {
+						h.DecreaseKey(id, h.Priority(id)*p)
+					} else {
+						h.Push(id, p)
+					}
+				}
+				prev := math.Inf(-1)
+				seen := make(map[int]bool)
+				for h.Len() > 0 {
+					id, p := h.Pop()
+					if p < prev || seen[id] {
+						return false
+					}
+					seen[id] = true
+					prev = p
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkBinaryHeapDijkstraPattern(b *testing.B) {
+	benchHeapPattern(b, func(n int) minHeap { return NewIndexedHeap(n) })
+}
+
+func BenchmarkQuadHeapDijkstraPattern(b *testing.B) {
+	benchHeapPattern(b, func(n int) minHeap { return NewQuadHeap(n) })
+}
+
+// benchHeapPattern simulates the push/decrease/pop mix Dijkstra produces on
+// a sparse graph (≈2 decreases per pop).
+func benchHeapPattern(b *testing.B, mk func(int) minHeap) {
+	const n = 1 << 16
+	h := mk(n)
+	r := rng.New(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for j := 0; j < 1024; j++ {
+			h.Push(r.Intn(n), r.Float64()+1)
+		}
+		for h.Len() > 0 {
+			id, p := h.Pop()
+			for k := 0; k < 2; k++ {
+				nb := (id + k + 1) % n
+				if h.Contains(nb) {
+					h.DecreaseKey(nb, p*0.9)
+				}
+			}
+		}
+	}
+}

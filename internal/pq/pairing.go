@@ -1,0 +1,154 @@
+package pq
+
+// PairingHeap is an indexed pairing heap: amortized O(1) Push and
+// DecreaseKey, O(log n) amortized Pop. It trades the array locality of the
+// binary/4-ary heaps for cheaper decreases, which pays off on graphs with
+// very high decrease-to-pop ratios (dense graphs, small-world graphs).
+// Items are dense integer IDs in [0, n), as in the other heaps.
+type PairingHeap struct {
+	prio  []float64
+	child []int32 // first child
+	next  []int32 // next sibling
+	prev  []int32 // previous sibling or parent
+	in    []bool
+	root  int32
+	size  int
+	// scratch buffer for two-pass merging in Pop
+	pairs []int32
+}
+
+// NewPairingHeap returns an empty pairing heap for IDs in [0, n).
+func NewPairingHeap(n int) *PairingHeap {
+	h := &PairingHeap{
+		prio:  make([]float64, n),
+		child: make([]int32, n),
+		next:  make([]int32, n),
+		prev:  make([]int32, n),
+		in:    make([]bool, n),
+		root:  -1,
+	}
+	for i := 0; i < n; i++ {
+		h.child[i], h.next[i], h.prev[i] = -1, -1, -1
+	}
+	return h
+}
+
+// Len reports the number of queued items.
+func (h *PairingHeap) Len() int { return h.size }
+
+// Contains reports whether id is queued.
+func (h *PairingHeap) Contains(id int) bool { return h.in[id] }
+
+// Priority returns the priority last assigned to id.
+func (h *PairingHeap) Priority(id int) float64 { return h.prio[id] }
+
+// meld links two heap roots, returning the smaller as the new root.
+func (h *PairingHeap) meld(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if h.prio[b] < h.prio[a] {
+		a, b = b, a
+	}
+	// b becomes the first child of a.
+	h.next[b] = h.child[a]
+	if h.child[a] >= 0 {
+		h.prev[h.child[a]] = b
+	}
+	h.prev[b] = a // parent link (b is first child)
+	h.child[a] = b
+	return a
+}
+
+// detach unlinks id from its parent/sibling list. id must not be the root.
+func (h *PairingHeap) detach(id int32) {
+	p := h.prev[id]
+	if h.child[p] == id {
+		h.child[p] = h.next[id] // id was first child; prev is the parent
+	} else {
+		h.next[p] = h.next[id]
+	}
+	if h.next[id] >= 0 {
+		h.prev[h.next[id]] = p
+	}
+	h.next[id], h.prev[id] = -1, -1
+}
+
+// Push inserts id with priority p; if present and p is lower, it behaves as
+// DecreaseKey, otherwise it is a no-op.
+func (h *PairingHeap) Push(id int, p float64) {
+	if h.in[id] {
+		if p < h.prio[id] {
+			h.DecreaseKey(id, p)
+		}
+		return
+	}
+	h.in[id] = true
+	h.prio[id] = p
+	h.child[id], h.next[id], h.prev[id] = -1, -1, -1
+	h.root = h.meld(h.root, int32(id))
+	h.size++
+}
+
+// DecreaseKey lowers id's priority to p (no-op if absent or not lower).
+func (h *PairingHeap) DecreaseKey(id int, p float64) {
+	if !h.in[id] || p >= h.prio[id] {
+		return
+	}
+	h.prio[id] = p
+	if int32(id) == h.root {
+		return
+	}
+	h.detach(int32(id))
+	h.root = h.meld(h.root, int32(id))
+}
+
+// Pop removes and returns the minimum item. Panics if empty.
+func (h *PairingHeap) Pop() (int, float64) {
+	top := h.root
+	if top < 0 {
+		panic("pq: Pop from empty pairing heap")
+	}
+	h.in[top] = false
+	h.size--
+	// Two-pass pairing of the children.
+	h.pairs = h.pairs[:0]
+	c := h.child[top]
+	for c >= 0 {
+		next := h.next[c]
+		h.next[c], h.prev[c] = -1, -1
+		h.pairs = append(h.pairs, c)
+		c = next
+	}
+	h.child[top] = -1
+	var merged int32 = -1
+	// First pass: pair up left to right.
+	for i := 0; i+1 < len(h.pairs); i += 2 {
+		h.pairs[i/2] = h.meld(h.pairs[i], h.pairs[i+1])
+	}
+	k := len(h.pairs) / 2
+	if len(h.pairs)%2 == 1 {
+		h.pairs[k] = h.pairs[len(h.pairs)-1]
+		k++
+	}
+	// Second pass: fold right to left.
+	for i := k - 1; i >= 0; i-- {
+		merged = h.meld(merged, h.pairs[i])
+	}
+	h.root = merged
+	if h.root >= 0 {
+		h.prev[h.root] = -1
+	}
+	return int(top), h.prio[top]
+}
+
+// Reset empties the heap in O(size) by draining it (pointer state is
+// per-item and cleaned during Pop).
+func (h *PairingHeap) Reset() {
+	for h.size > 0 {
+		h.Pop()
+	}
+}

@@ -1,0 +1,165 @@
+package pq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/rng"
+)
+
+func TestPairingHeapPopOrder(t *testing.T) {
+	h := NewPairingHeap(128)
+	r := rng.New(4)
+	want := make([]float64, 0, 128)
+	for i := 0; i < 128; i++ {
+		p := r.Float64()
+		h.Push(i, p)
+		want = append(want, p)
+	}
+	sort.Float64s(want)
+	for i := range want {
+		_, p := h.Pop()
+		if p != want[i] {
+			t.Fatalf("pop %d: got %v, want %v", i, p, want[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty after drain")
+	}
+}
+
+func TestPairingHeapDecreaseKey(t *testing.T) {
+	h := NewPairingHeap(8)
+	h.Push(0, 5)
+	h.Push(1, 3)
+	h.Push(2, 9)
+	h.DecreaseKey(2, 0.5)
+	if id, p := h.Pop(); id != 2 || p != 0.5 {
+		t.Fatalf("got (%d,%v), want (2,0.5)", id, p)
+	}
+	h.DecreaseKey(0, 1) // 0 now below 1
+	if id, _ := h.Pop(); id != 0 {
+		t.Fatalf("got %d, want 0", id)
+	}
+	// Decrease of the root is fine.
+	h.DecreaseKey(1, 0.1)
+	if id, p := h.Pop(); id != 1 || p != 0.1 {
+		t.Fatalf("got (%d,%v), want (1,0.1)", id, p)
+	}
+}
+
+func TestPairingHeapPushExisting(t *testing.T) {
+	h := NewPairingHeap(4)
+	h.Push(3, 10)
+	h.Push(3, 4)
+	h.Push(3, 7)
+	if h.Len() != 1 {
+		t.Fatalf("len = %d, want 1", h.Len())
+	}
+	if id, p := h.Pop(); id != 3 || p != 4 {
+		t.Fatalf("got (%d,%v), want (3,4)", id, p)
+	}
+}
+
+func TestPairingHeapResetAndReuse(t *testing.T) {
+	h := NewPairingHeap(16)
+	for i := 0; i < 10; i++ {
+		h.Push(i, float64(10-i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset left items")
+	}
+	h.Push(5, 1)
+	h.Push(6, 0.5)
+	if id, _ := h.Pop(); id != 6 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestPairingHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPairingHeap(1).Pop()
+}
+
+// Property: pairing heap agrees with the binary heap under a random
+// workload of pushes, decreases and pops.
+func TestPairingHeapAgainstBinary(t *testing.T) {
+	check := func(seed uint64, nOps uint16) bool {
+		const n = 64
+		ph := NewPairingHeap(n)
+		bh := NewIndexedHeap(n)
+		r := rng.New(seed)
+		for i := 0; i < int(nOps)%400+20; i++ {
+			switch r.Intn(3) {
+			case 0:
+				id, p := r.Intn(n), r.Float64()
+				ph.Push(id, p)
+				bh.Push(id, p)
+			case 1:
+				id := r.Intn(n)
+				if ph.Contains(id) != bh.Contains(id) {
+					return false
+				}
+				if ph.Contains(id) {
+					p := ph.Priority(id) * r.Float64()
+					ph.DecreaseKey(id, p)
+					bh.DecreaseKey(id, p)
+				}
+			case 2:
+				if ph.Len() != bh.Len() {
+					return false
+				}
+				if ph.Len() > 0 {
+					_, p1 := ph.Pop()
+					_, p2 := bh.Pop()
+					// IDs may differ on ties; priorities must agree.
+					if p1 != p2 {
+						return false
+					}
+				}
+			}
+		}
+		// Drain both; the sorted priority sequences must match.
+		prev := math.Inf(-1)
+		for ph.Len() > 0 {
+			_, p1 := ph.Pop()
+			_, p2 := bh.Pop()
+			if p1 != p2 || p1 < prev {
+				return false
+			}
+			prev = p1
+		}
+		return bh.Len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPairingHeapDijkstraPattern(b *testing.B) {
+	const n = 1 << 16
+	h := NewPairingHeap(n)
+	r := rng.New(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			h.Push(r.Intn(n), r.Float64()+1)
+		}
+		for h.Len() > 0 {
+			id, p := h.Pop()
+			for k := 0; k < 2; k++ {
+				nb := (id + k + 1) % n
+				if h.Contains(nb) {
+					h.DecreaseKey(nb, p*0.9)
+				}
+			}
+		}
+	}
+}

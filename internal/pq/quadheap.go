@@ -1,0 +1,122 @@
+package pq
+
+// QuadHeap is an indexed 4-ary min-heap. It has the same interface as
+// IndexedHeap but a shallower tree, which is measurably faster for
+// Dijkstra on sparse graphs where DecreaseKey dominates (sift-up is cheaper
+// and sift-down touches fewer cache lines per level).
+type QuadHeap struct {
+	items []int32
+	prio  []float64
+	pos   []int32
+}
+
+// NewQuadHeap returns an empty 4-ary heap for IDs in [0, n).
+func NewQuadHeap(n int) *QuadHeap {
+	h := &QuadHeap{
+		items: make([]int32, 0, 64),
+		prio:  make([]float64, n),
+		pos:   make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of items currently in the heap.
+func (h *QuadHeap) Len() int { return len(h.items) }
+
+// Contains reports whether id is currently in the heap.
+func (h *QuadHeap) Contains(id int) bool { return h.pos[id] >= 0 }
+
+// Priority returns the last priority assigned to id.
+func (h *QuadHeap) Priority(id int) float64 { return h.prio[id] }
+
+// Push inserts id with priority p, or lowers its priority if already present
+// and p is smaller.
+func (h *QuadHeap) Push(id int, p float64) {
+	if h.pos[id] >= 0 {
+		if p < h.prio[id] {
+			h.prio[id] = p
+			h.siftUp(int(h.pos[id]))
+		}
+		return
+	}
+	h.prio[id] = p
+	h.pos[id] = int32(len(h.items))
+	h.items = append(h.items, int32(id))
+	h.siftUp(len(h.items) - 1)
+}
+
+// DecreaseKey lowers the priority of id to p (no-op if absent or not lower).
+func (h *QuadHeap) DecreaseKey(id int, p float64) {
+	if h.pos[id] < 0 || p >= h.prio[id] {
+		return
+	}
+	h.prio[id] = p
+	h.siftUp(int(h.pos[id]))
+}
+
+// Pop removes and returns the minimum item. Panics if empty.
+func (h *QuadHeap) Pop() (id int, p float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.pos[h.items[0]] = 0
+	h.items = h.items[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return int(top), h.prio[top]
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *QuadHeap) Reset() {
+	for _, id := range h.items {
+		h.pos[id] = -1
+	}
+	h.items = h.items[:0]
+}
+
+func (h *QuadHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = int32(i)
+	h.pos[h.items[j]] = int32(j)
+}
+
+func (h *QuadHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if h.prio[h.items[i]] >= h.prio[h.items[parent]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *QuadHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		smallest := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.prio[h.items[c]] < h.prio[h.items[smallest]] {
+				smallest = c
+			}
+		}
+		if h.prio[h.items[smallest]] >= h.prio[h.items[i]] {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

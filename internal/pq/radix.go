@@ -1,0 +1,88 @@
+package pq
+
+import "math/bits"
+
+// RadixHeap is a monotone priority queue for uint64 keys: Pop must return
+// keys in nondecreasing order and pushed keys must be ≥ the last popped
+// key. Under that contract (which Dijkstra on non-negative integer weights
+// satisfies) all operations are amortized O(1)–O(log C). It is the natural
+// queue for the DIMACS road networks' integral weights.
+//
+// Buckets hold (key, id) pairs grouped by the highest bit in which the key
+// differs from the last popped minimum.
+type RadixHeap struct {
+	buckets [65][]radixItem
+	last    uint64
+	size    int
+}
+
+type radixItem struct {
+	key uint64
+	id  int32
+}
+
+// NewRadixHeap returns an empty radix heap.
+func NewRadixHeap() *RadixHeap {
+	return &RadixHeap{}
+}
+
+// Len reports the number of queued items.
+func (h *RadixHeap) Len() int { return h.size }
+
+// Last returns the most recently popped key (the monotonicity floor).
+func (h *RadixHeap) Last() uint64 { return h.last }
+
+func (h *RadixHeap) bucketFor(key uint64) int {
+	if key == h.last {
+		return 0
+	}
+	return bits.Len64(key ^ h.last)
+}
+
+// Push inserts id with the given key. It panics if key is below the last
+// popped key (monotonicity violation).
+func (h *RadixHeap) Push(id int, key uint64) {
+	if key < h.last {
+		panic("pq: RadixHeap monotonicity violated")
+	}
+	b := h.bucketFor(key)
+	h.buckets[b] = append(h.buckets[b], radixItem{key, int32(id)})
+	h.size++
+}
+
+// Pop removes and returns an item with the minimum key. Panics if empty.
+// Items with equal keys are returned in insertion order.
+func (h *RadixHeap) Pop() (id int, key uint64) {
+	if h.size == 0 {
+		panic("pq: Pop from empty radix heap")
+	}
+	// Find the first non-empty bucket.
+	b := 0
+	for len(h.buckets[b]) == 0 {
+		b++
+	}
+	if b == 0 {
+		it := h.buckets[0][0]
+		h.buckets[0] = h.buckets[0][1:]
+		h.size--
+		return int(it.id), it.key
+	}
+	// Redistribute bucket b relative to its minimum key.
+	min := h.buckets[b][0].key
+	for _, it := range h.buckets[b][1:] {
+		if it.key < min {
+			min = it.key
+		}
+	}
+	items := h.buckets[b]
+	h.buckets[b] = nil
+	h.last = min
+	for _, it := range items {
+		nb := h.bucketFor(it.key)
+		h.buckets[nb] = append(h.buckets[nb], it)
+	}
+	it := h.buckets[0][0]
+	h.buckets[0] = h.buckets[0][1:]
+	h.size--
+	return int(it.id), it.key
+}

@@ -1,0 +1,125 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/rng"
+)
+
+func TestRadixHeapPopOrder(t *testing.T) {
+	h := NewRadixHeap()
+	keys := []uint64{5, 1, 9, 3, 3, 7, 1 << 40, 0}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		_, k := h.Pop()
+		if k != want {
+			t.Fatalf("pop %d: got %d, want %d", i, k, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty")
+	}
+}
+
+func TestRadixHeapMonotonePushes(t *testing.T) {
+	// Dijkstra-style: pushes are always >= the current minimum.
+	h := NewRadixHeap()
+	h.Push(0, 0)
+	cur := uint64(0)
+	r := rng.New(5)
+	popped := 0
+	for h.Len() > 0 && popped < 1000 {
+		_, k := h.Pop()
+		if k < cur {
+			t.Fatalf("non-monotone pop: %d after %d", k, cur)
+		}
+		cur = k
+		popped++
+		for j := 0; j < 2 && popped+h.Len() < 1000; j++ {
+			h.Push(popped, cur+1+r.Uint64n(100))
+		}
+	}
+}
+
+func TestRadixHeapMonotonicityViolationPanics(t *testing.T) {
+	h := NewRadixHeap()
+	h.Push(0, 100)
+	h.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on key below last popped")
+		}
+	}()
+	h.Push(1, 50)
+}
+
+func TestRadixHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRadixHeap().Pop()
+}
+
+func TestRadixHeapEqualKeys(t *testing.T) {
+	h := NewRadixHeap()
+	for i := 0; i < 10; i++ {
+		h.Push(i, 42)
+	}
+	for i := 0; i < 10; i++ {
+		_, k := h.Pop()
+		if k != 42 {
+			t.Fatalf("key %d", k)
+		}
+	}
+}
+
+// Property: the radix heap sorts any batch of keys.
+func TestRadixHeapSortsBatches(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%100 + 1
+		h := NewRadixHeap()
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64() >> 20
+			h.Push(i, keys[i])
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, want := range keys {
+			if _, k := h.Pop(); k != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRadixHeapMonotoneSweep(b *testing.B) {
+	r := rng.New(9)
+	const n = 1 << 14
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64() >> 30
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewRadixHeap()
+		for id, k := range keys {
+			h.Push(id, k)
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}

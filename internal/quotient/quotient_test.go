@@ -1,0 +1,173 @@
+package quotient
+
+import (
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+	"graphdiam/internal/validate"
+)
+
+func TestBuildTwoClusterPath(t *testing.T) {
+	// Path 0-1-2-3 (unit weights), clusters {0,1} centered at 0 and
+	// {2,3} centered at 3. d = [0,1,1,0]. The single cut edge (1,2) maps
+	// to a quotient edge of weight 1 + d1 + d2 = 3.
+	g := gen.Path(4)
+	center := []int32{0, 0, 3, 3}
+	dist := []float64{0, 1, 1, 0}
+	q, centers := Build(g, center, dist, bsp.New(2))
+	if q.NumNodes() != 2 || q.NumEdges() != 1 {
+		t.Fatalf("quotient shape: n=%d m=%d", q.NumNodes(), q.NumEdges())
+	}
+	if len(centers) != 2 || centers[0] != 0 || centers[1] != 3 {
+		t.Fatalf("centers = %v", centers)
+	}
+	if w, ok := q.EdgeWeight(0, 1); !ok || w != 3 {
+		t.Fatalf("quotient edge weight = %v, %v", w, ok)
+	}
+}
+
+func TestBuildKeepsMinimumParallelEdge(t *testing.T) {
+	// Two clusters joined by two cut edges of different projected weight.
+	b := graph.NewBuilder(4, 4)
+	b.AddEdge(0, 1, 1) // intra
+	b.AddEdge(2, 3, 1) // intra
+	b.AddEdge(0, 2, 5) // cut: 5 + 0 + 0 = 5
+	b.AddEdge(1, 3, 1) // cut: 1 + 1 + 1 = 3
+	g := b.Build()
+	center := []int32{0, 0, 2, 2}
+	dist := []float64{0, 1, 0, 1}
+	q, _ := Build(g, center, dist, bsp.New(2))
+	if w, _ := q.EdgeWeight(0, 1); w != 3 {
+		t.Fatalf("quotient kept weight %v, want min 3", w)
+	}
+}
+
+func TestBuildSingletonClustering(t *testing.T) {
+	// Every node its own cluster: the quotient is the graph itself.
+	r := rng.New(1)
+	g := gen.UniformWeights(gen.Mesh(5), r)
+	n := g.NumNodes()
+	center := make([]int32, n)
+	dist := make([]float64, n)
+	for i := range center {
+		center[i] = int32(i)
+	}
+	q, centers := Build(g, center, dist, bsp.New(4))
+	if q.NumNodes() != n || q.NumEdges() != g.NumEdges() {
+		t.Fatalf("quotient of singletons: n=%d m=%d, want %d/%d",
+			q.NumNodes(), q.NumEdges(), n, g.NumEdges())
+	}
+	if len(centers) != n {
+		t.Fatal("centers incomplete")
+	}
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if w2, ok := q.EdgeWeight(u, v); !ok || w2 != w {
+			t.Fatalf("edge (%d,%d) weight %v vs %v", u, v, w, w2)
+		}
+	})
+}
+
+func TestBuildOneCluster(t *testing.T) {
+	g := gen.Path(5)
+	center := []int32{2, 2, 2, 2, 2}
+	dist := []float64{2, 1, 0, 1, 2}
+	q, centers := Build(g, center, dist, bsp.New(2))
+	if q.NumNodes() != 1 || q.NumEdges() != 0 {
+		t.Fatalf("one-cluster quotient: n=%d m=%d", q.NumNodes(), q.NumEdges())
+	}
+	if len(centers) != 1 || centers[0] != 2 {
+		t.Fatalf("centers = %v", centers)
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	r := rng.New(3)
+	g := gen.UniformWeights(gen.GNM(120, 400, r), r)
+	n := g.NumNodes()
+	center := make([]int32, n)
+	dist := make([]float64, n)
+	for i := range center {
+		center[i] = int32(i % 7 * (n / 7)) // 7 arbitrary clusters
+		dist[i] = float64(i%5) * 0.1
+	}
+	// Make the designated centers self-centered with zero dist.
+	for i := 0; i < 7; i++ {
+		c := i * (n / 7)
+		center[c] = int32(c)
+		dist[c] = 0
+	}
+	q1, _ := Build(g, center, dist, bsp.New(1))
+	q8, _ := Build(g, center, dist, bsp.New(8))
+	if q1.NumNodes() != q8.NumNodes() || q1.NumEdges() != q8.NumEdges() {
+		t.Fatal("quotient depends on worker count")
+	}
+	q1.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if w2, ok := q8.EdgeWeight(u, v); !ok || w2 != w {
+			t.Fatalf("edge (%d,%d): %v vs %v", u, v, w, w2)
+		}
+	})
+}
+
+func TestDiameterExactSmall(t *testing.T) {
+	g := gen.WeightedPath([]float64{1, 2, 3})
+	d := Diameter(g, bsp.New(2), DiameterOptions{})
+	if d != 6 {
+		t.Fatalf("diameter = %v, want 6", d)
+	}
+}
+
+func TestDiameterSweepFallback(t *testing.T) {
+	// Force the sweep path with a tiny exact threshold; on a path the
+	// double sweep is exact.
+	g := gen.Path(50)
+	d := Diameter(g, bsp.New(2), DiameterOptions{ExactThreshold: 10, Sweeps: 3})
+	if d != 49 {
+		t.Fatalf("sweep diameter = %v, want 49", d)
+	}
+}
+
+func TestDiameterSweepDisconnected(t *testing.T) {
+	b := graph.NewBuilder(12, 0)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	for i := 6; i < 11; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 2)
+	}
+	g := b.Build()
+	// Second component has diameter 10; sweeps must visit both.
+	d := Diameter(g, bsp.New(2), DiameterOptions{ExactThreshold: 1, Sweeps: 3})
+	if d != 10 {
+		t.Fatalf("disconnected sweep diameter = %v, want 10", d)
+	}
+}
+
+func TestDiameterEmpty(t *testing.T) {
+	if d := Diameter(graph.NewBuilder(0, 0).Build(), bsp.New(1), DiameterOptions{}); d != 0 {
+		t.Fatalf("empty diameter = %v", d)
+	}
+}
+
+func TestDiameterSweepCloseToExact(t *testing.T) {
+	r := rng.New(5)
+	g := gen.UniformWeights(gen.Mesh(12), r)
+	exact := validate.ExactDiameter(g, bsp.New(4))
+	sweep := Diameter(g, bsp.New(4), DiameterOptions{ExactThreshold: 1, Sweeps: 8})
+	if sweep > exact+1e-9 {
+		t.Fatalf("sweep %v exceeds exact %v", sweep, exact)
+	}
+	if sweep < 0.75*exact {
+		t.Fatalf("sweep %v too far below exact %v", sweep, exact)
+	}
+}
+
+func TestEccentric(t *testing.T) {
+	g := gen.Path(30)
+	far := Eccentric(g)
+	if far != 29 {
+		t.Fatalf("Eccentric = %d, want 29 (far end from node 0)", far)
+	}
+}

@@ -1,0 +1,95 @@
+package sssp
+
+import (
+	"math"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/graph"
+)
+
+// BellmanFordBSP runs frontier-based Bellman–Ford on the BSP engine: each
+// superstep relaxes all edges of the nodes improved in the previous step,
+// routing requests through mailboxes to the owners. It is the Δ→∞ limit of
+// Δ-stepping (one bucket, no heavy phase) and the round-complexity
+// worst case the paper's Section 1 discusses: rounds = shortest-path tree
+// depth + 1, with no way to trade rounds for work.
+//
+// Results are exact; metrics accumulate in the engine and the returned
+// DeltaResult (Delta is reported as +Inf).
+func BellmanFordBSP(g *graph.Graph, src graph.NodeID, e *bsp.Engine) DeltaResult {
+	n := g.NumNodes()
+	res := DeltaResult{Dist: make([]float64, n), Delta: math.Inf(1)}
+	dist := res.Dist
+	for i := range dist {
+		dist[i] = Inf
+	}
+	before := e.Metrics().Snapshot()
+	P := e.Workers()
+
+	mail := bsp.NewMailboxes[relaxReq](P)
+	frontiers := make([][]int32, P)
+	nextFront := make([][]int32, P)
+	queued := make([]bool, n)
+
+	srcOwner := e.Owner(n, int(src))
+	dist[src] = 0
+	frontiers[srcOwner] = append(frontiers[srcOwner], int32(src))
+
+	for {
+		any := false
+		for w := 0; w < P; w++ {
+			if len(frontiers[w]) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			break
+		}
+		// Send half.
+		e.ParallelFor(n, func(w, _, _ int) {
+			var sent int64
+			for _, ui := range frontiers[w] {
+				u := int(ui)
+				queued[u] = false
+				du := dist[u]
+				ts, ws := g.Neighbors(graph.NodeID(u))
+				for i, v := range ts {
+					mail.Send(w, e.Owner(n, int(v)), relaxReq{v, du + ws[i]})
+					sent++
+				}
+			}
+			if sent > 0 {
+				e.Metrics().AddMessages(sent)
+			}
+		})
+		// Apply half.
+		e.ParallelFor(n, func(w, _, _ int) {
+			var applied int64
+			nf := nextFront[w][:0]
+			mail.Recv(w, func(r relaxReq) {
+				if r.dist < dist[r.node] {
+					dist[r.node] = r.dist
+					applied++
+					if !queued[r.node] {
+						queued[r.node] = true
+						nf = append(nf, int32(r.node))
+					}
+				}
+			})
+			mail.ClearTo(w)
+			nextFront[w] = nf
+			if applied > 0 {
+				e.Metrics().AddUpdates(applied)
+			}
+		})
+		e.Metrics().AddRounds(1)
+		frontiers, nextFront = nextFront, frontiers
+	}
+
+	after := e.Metrics().Snapshot()
+	res.Rounds = after.Rounds - before.Rounds
+	res.Relaxations = after.Messages - before.Messages
+	res.Updates = 1 + after.Updates - before.Updates
+	return res
+}

@@ -1,0 +1,61 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/rng"
+)
+
+func TestBellmanFordBSPMatchesDijkstra(t *testing.T) {
+	r := rng.New(81)
+	g := gen.UniformWeights(gen.GNM(250, 800, r), r)
+	want := Dijkstra(g, 0)
+	for _, workers := range []int{1, 3, 8} {
+		got := BellmanFordBSP(g, 0, bsp.New(workers))
+		for i := range want {
+			if math.Abs(want[i]-got.Dist[i]) > 1e-9 &&
+				!(math.IsInf(want[i], 1) && math.IsInf(got.Dist[i], 1)) {
+				t.Fatalf("P=%d node %d: %v vs %v", workers, i, want[i], got.Dist[i])
+			}
+		}
+	}
+}
+
+func TestBellmanFordBSPRoundsEqualTreeDepthPlusOne(t *testing.T) {
+	g := gen.Path(12)
+	res := BellmanFordBSP(g, 0, bsp.New(2))
+	// 11 productive supersteps + 1 that improves nothing.
+	if res.Rounds != 12 {
+		t.Fatalf("rounds = %d, want 12", res.Rounds)
+	}
+}
+
+func TestBellmanFordBSPNeedsMoreRoundsThanDeltaStepping(t *testing.T) {
+	// The paper's point about the Bellman–Ford end of the Δ spectrum:
+	// unlimited Δ costs a round per tree-depth level but each round is
+	// heavy; tuned Δ-stepping balances the two. On a uniform-weight mesh,
+	// Bellman–Ford's rounds upper-bound any Δ's and its work is no less
+	// than the tuned run's.
+	r := rng.New(82)
+	g := gen.UniformWeights(gen.Mesh(20), r)
+	bf := BellmanFordBSP(g, 0, bsp.New(2))
+	ds := DeltaSteppingSeq(g, 0, 100) // effectively one bucket too
+	if bf.Work() < ds.Work()/4 {
+		t.Fatalf("unexpected work profile: BF %d, one-bucket ΔS %d", bf.Work(), ds.Work())
+	}
+	if bf.Rounds < 2 {
+		t.Fatalf("rounds = %d", bf.Rounds)
+	}
+}
+
+func BenchmarkBellmanFordBSPMesh48(b *testing.B) {
+	g := gen.UniformWeights(gen.Mesh(48), rng.New(1))
+	e := bsp.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BellmanFordBSP(g, 0, e)
+	}
+}

@@ -1,0 +1,182 @@
+// Package sssp implements single-source shortest path algorithms on the
+// weighted graphs of internal/graph:
+//
+//   - Dijkstra's algorithm with an indexed 4-ary heap (the sequential
+//     reference used for ground truth and for the paper's diameter lower
+//     bound procedure);
+//   - Bellman–Ford with round counting (the relaxation pattern whose
+//     Δ-limited form is the paper's "Δ-growing step");
+//   - Δ-stepping (Meyer & Sanders, J. Algorithms 2003), both sequential
+//     and parallel on the BSP engine — the paper's only practical
+//     linear-space competitor, used as a 2-approximation of the diameter.
+package sssp
+
+import (
+	"math"
+
+	"graphdiam/internal/graph"
+	"graphdiam/internal/pq"
+)
+
+// Inf is the distance assigned to unreachable nodes.
+var Inf = math.Inf(1)
+
+// Dijkstra computes exact shortest-path distances from src. Unreachable
+// nodes get +Inf. O((n+m) log n) with the indexed 4-ary heap.
+func Dijkstra(g *graph.Graph, src graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	h := pq.NewQuadHeap(n)
+	dist[src] = 0
+	h.Push(int(src), 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		ts, ws := g.Neighbors(graph.NodeID(u))
+		for i, v := range ts {
+			if nd := du + ws[i]; nd < dist[v] {
+				dist[v] = nd
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraTree computes distances and the shortest-path tree parent of each
+// node (parent[src] = src; parent of unreachable nodes = -1).
+func DijkstraTree(g *graph.Graph, src graph.NodeID) (dist []float64, parent []int32) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	parent = make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	h := pq.NewQuadHeap(n)
+	dist[src] = 0
+	parent[src] = int32(src)
+	h.Push(int(src), 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		ts, ws := g.Neighbors(graph.NodeID(u))
+		for i, v := range ts {
+			if nd := du + ws[i]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = int32(u)
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// BellmanFord computes shortest-path distances from src by synchronous
+// (Jacobi-style) relaxation sweeps: every sweep relaxes all edges against
+// the previous sweep's distances, exactly as a parallel round would. It
+// returns the distances and the number of sweeps until fixpoint, which is
+// ℓ_Φ — the maximum number of edges on any shortest path from src — plus
+// the final no-change sweep.
+func BellmanFord(g *graph.Graph, src graph.NodeID) ([]float64, int) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	next := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	rounds := 0
+	for {
+		rounds++
+		copy(next, dist)
+		changed := false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			ts, ws := g.Neighbors(graph.NodeID(u))
+			for i, v := range ts {
+				if nd := du + ws[i]; nd < next[v] {
+					next[v] = nd
+					changed = true
+				}
+			}
+		}
+		dist, next = next, dist
+		if !changed {
+			return dist, rounds
+		}
+	}
+}
+
+// Eccentricity returns the largest finite distance in dist and the node
+// attaining it. For a connected graph this is the eccentricity of the
+// source the distances were computed from.
+func Eccentricity(dist []float64) (float64, graph.NodeID) {
+	best := -1.0
+	var arg graph.NodeID
+	for v, d := range dist {
+		if !math.IsInf(d, 1) && d > best {
+			best = d
+			arg = graph.NodeID(v)
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return best, arg
+}
+
+// NumEdgesOnShortestPaths returns ℓ, the maximum number of edges on any
+// minimum-weight path of the tree computed by DijkstraTree from src. It is
+// the realized value of the paper's ℓ_Δ parameter at Δ = ecc(src).
+func NumEdgesOnShortestPaths(g *graph.Graph, src graph.NodeID) int {
+	_, parent := DijkstraTree(g, src)
+	n := g.NumNodes()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	maxDepth := 0
+	var walk func(v int) int32
+	walk = func(v int) int32 {
+		if depth[v] >= 0 {
+			return depth[v]
+		}
+		if parent[v] < 0 {
+			return 0
+		}
+		// Iterative unwinding to avoid deep recursion on path graphs.
+		var stack []int
+		u := v
+		for depth[u] < 0 {
+			stack = append(stack, u)
+			u = int(parent[u])
+		}
+		d := depth[u]
+		for i := len(stack) - 1; i >= 0; i-- {
+			d++
+			depth[stack[i]] = d
+		}
+		return depth[v]
+	}
+	for v := 0; v < n; v++ {
+		if parent[v] < 0 {
+			continue
+		}
+		if d := int(walk(v)); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth
+}

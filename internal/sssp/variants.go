@@ -1,0 +1,156 @@
+package sssp
+
+import (
+	"math"
+
+	"graphdiam/internal/graph"
+	"graphdiam/internal/mr"
+	"graphdiam/internal/pq"
+)
+
+// DijkstraIntegral computes exact distances from src for graphs whose edge
+// weights are all positive integers (it panics otherwise), using a
+// monotone radix heap — the structure of choice for DIMACS-style road
+// networks. Distances are returned as uint64; unreachable nodes get
+// math.MaxUint64.
+func DijkstraIntegral(g *graph.Graph, src graph.NodeID) []uint64 {
+	n := g.NumNodes()
+	const unreached = math.MaxUint64
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	h := pq.NewRadixHeap()
+	dist[src] = 0
+	h.Push(int(src), 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue // stale entry
+		}
+		ts, ws := g.Neighbors(graph.NodeID(u))
+		for i, v := range ts {
+			w := ws[i]
+			wi := uint64(w)
+			if w <= 0 || float64(wi) != w {
+				panic("sssp: DijkstraIntegral requires positive integral weights")
+			}
+			if nd := du + wi; nd < dist[v] {
+				dist[v] = nd
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraPairing is Dijkstra's algorithm backed by the pairing heap; it
+// exists to cross-check the heap implementations against each other and to
+// benchmark the decrease-key-heavy regime.
+func DijkstraPairing(g *graph.Graph, src graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	h := pq.NewPairingHeap(n)
+	dist[src] = 0
+	h.Push(int(src), 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		ts, ws := g.Neighbors(graph.NodeID(u))
+		for i, v := range ts {
+			if nd := du + ws[i]; nd < dist[v] {
+				dist[v] = nd
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiSource computes, for every node, the distance to the nearest of the
+// given sources and that source's ID — a single Dijkstra run over a
+// virtual super-source. It is the reference oracle for cluster-assignment
+// validation: a clustering's Dist array must dominate these distances.
+func MultiSource(g *graph.Graph, sources []graph.NodeID) (dist []float64, nearest []int32) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	nearest = make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		nearest[i] = -1
+	}
+	h := pq.NewQuadHeap(n)
+	for _, s := range sources {
+		dist[s] = 0
+		nearest[s] = int32(s)
+		h.Push(int(s), 0)
+	}
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		ts, ws := g.Neighbors(graph.NodeID(u))
+		for i, v := range ts {
+			if nd := du + ws[i]; nd < dist[v] {
+				dist[v] = nd
+				nearest[v] = nearest[u]
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	return dist, nearest
+}
+
+// BellmanFordMR runs Bellman–Ford in the rigorous MR(M_T, M_L) model: each
+// sweep is one MR round in which active nodes emit (neighbor, candidate)
+// pairs and each node reduces to its minimum. It exists to cross-validate
+// the BSP algorithms against the paper's formal machine model and returns
+// the distances together with the engine used (for round accounting).
+//
+// Frontier-based: only nodes improved in the previous round emit, so the
+// number of rounds is the shortest-path tree depth + 1, matching
+// BellmanFord.
+func BellmanFordMR(g *graph.Graph, src graph.NodeID, e *mr.Engine) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	frontier := []graph.NodeID{src}
+	for len(frontier) > 0 {
+		var msgs []mr.Pair[float64]
+		for _, u := range frontier {
+			du := dist[u]
+			ts, ws := g.Neighbors(u)
+			for i, v := range ts {
+				msgs = append(msgs, mr.Pair[float64]{Key: uint64(v), Value: du + ws[i]})
+			}
+		}
+		out := mr.Round(e, msgs, func(k uint64, vs []float64, emit func(uint64, float64)) {
+			best := vs[0]
+			for _, v := range vs[1:] {
+				if v < best {
+					best = v
+				}
+			}
+			if best < dist[k] {
+				emit(k, best)
+			}
+		})
+		frontier = frontier[:0]
+		for _, p := range out {
+			if p.Value < dist[p.Key] {
+				dist[p.Key] = p.Value
+				frontier = append(frontier, graph.NodeID(p.Key))
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,196 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/mr"
+	"graphdiam/internal/rng"
+)
+
+func TestDijkstraIntegralMatchesFloat(t *testing.T) {
+	r := rng.New(3)
+	g := gen.RoadNetwork(gen.DefaultRoadNetworkOptions(24), r) // integral weights
+	want := Dijkstra(g, 0)
+	got := DijkstraIntegral(g, 0)
+	for i := range want {
+		if math.IsInf(want[i], 1) {
+			if got[i] != math.MaxUint64 {
+				t.Fatalf("node %d: want unreached, got %d", i, got[i])
+			}
+			continue
+		}
+		if float64(got[i]) != want[i] {
+			t.Fatalf("node %d: integral %d vs float %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraIntegralRejectsFractionalWeights(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddEdge(0, 1, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on fractional weight")
+		}
+	}()
+	DijkstraIntegral(b.Build(), 0)
+}
+
+func TestDijkstraPairingMatches(t *testing.T) {
+	r := rng.New(4)
+	g := gen.UniformWeights(gen.GNM(150, 500, r), r)
+	want := Dijkstra(g, 3)
+	got := DijkstraPairing(g, 3)
+	for i := range want {
+		if want[i] != got[i] && !(math.IsInf(want[i], 1) && math.IsInf(got[i], 1)) {
+			t.Fatalf("node %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestMultiSourceSingleEqualsDijkstra(t *testing.T) {
+	r := rng.New(5)
+	g := gen.UniformWeights(gen.Mesh(10), r)
+	want := Dijkstra(g, 7)
+	dist, nearest := MultiSource(g, []graph.NodeID{7})
+	for i := range want {
+		if want[i] != dist[i] {
+			t.Fatalf("node %d: %v vs %v", i, want[i], dist[i])
+		}
+		if !math.IsInf(dist[i], 1) && nearest[i] != 7 {
+			t.Fatalf("node %d: nearest %d, want 7", i, nearest[i])
+		}
+	}
+}
+
+func TestMultiSourceIsMinOverSources(t *testing.T) {
+	r := rng.New(6)
+	g := gen.UniformWeights(gen.GNM(120, 400, r), r)
+	sources := []graph.NodeID{0, 17, 60}
+	dist, nearest := MultiSource(g, sources)
+	per := make([][]float64, len(sources))
+	for i, s := range sources {
+		per[i] = Dijkstra(g, s)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		best := math.Inf(1)
+		for i := range sources {
+			if per[i][u] < best {
+				best = per[i][u]
+			}
+		}
+		if dist[u] != best {
+			t.Fatalf("node %d: multi %v, min-of-singles %v", u, dist[u], best)
+		}
+		if !math.IsInf(best, 1) {
+			// nearest must attain the minimum.
+			found := false
+			for i, s := range sources {
+				if nearest[u] == int32(s) && per[i][u] == best {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %d: nearest %d does not attain min", u, nearest[u])
+			}
+		}
+	}
+}
+
+func TestMultiSourceEmptySources(t *testing.T) {
+	g := gen.Path(5)
+	dist, nearest := MultiSource(g, nil)
+	for i := range dist {
+		if !math.IsInf(dist[i], 1) || nearest[i] != -1 {
+			t.Fatal("no sources should leave everything unreached")
+		}
+	}
+}
+
+func TestBellmanFordMRMatchesDijkstra(t *testing.T) {
+	r := rng.New(7)
+	g := gen.UniformWeights(gen.GNM(80, 240, r), r)
+	want := Dijkstra(g, 0)
+	e := mr.NewEngine(4, 0)
+	got := BellmanFordMR(g, 0, e)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 && !(math.IsInf(want[i], 1) && math.IsInf(got[i], 1)) {
+			t.Fatalf("node %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+	if e.Rounds() < 1 {
+		t.Fatal("no MR rounds recorded")
+	}
+}
+
+func TestBellmanFordMRRoundsEqualTreeDepth(t *testing.T) {
+	// On a unit path of 8 edges from one end: 8 productive rounds plus one
+	// final round in which the last node's messages improve nothing.
+	g := gen.Path(9)
+	e := mr.NewEngine(2, 0)
+	BellmanFordMR(g, 0, e)
+	if e.Rounds() != 9 {
+		t.Fatalf("rounds = %d, want 9", e.Rounds())
+	}
+}
+
+// Property: all four exact SSSP implementations agree.
+func TestAllSSSPImplementationsAgree(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := gen.IntegralUniformWeights(gen.GNM(60, 180, r), 50, r)
+		a := Dijkstra(g, 0)
+		b := DijkstraPairing(g, 0)
+		c := DijkstraIntegral(g, 0)
+		d := BellmanFordMR(g, 0, mr.NewEngine(2, 0))
+		for i := range a {
+			inf := math.IsInf(a[i], 1)
+			if inf != math.IsInf(b[i], 1) || inf != (c[i] == math.MaxUint64) || inf != math.IsInf(d[i], 1) {
+				return false
+			}
+			if inf {
+				continue
+			}
+			if a[i] != b[i] || a[i] != float64(c[i]) || math.Abs(a[i]-d[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDijkstraIntegralRoad(b *testing.B) {
+	g := gen.RoadNetwork(gen.DefaultRoadNetworkOptions(64), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DijkstraIntegral(g, 0)
+	}
+}
+
+func BenchmarkDijkstraPairingMesh64(b *testing.B) {
+	g := gen.UniformWeights(gen.Mesh(64), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DijkstraPairing(g, 0)
+	}
+}
+
+func BenchmarkMultiSource64Sources(b *testing.B) {
+	r := rng.New(2)
+	g := gen.UniformWeights(gen.Mesh(64), r)
+	sources := make([]graph.NodeID, 64)
+	for i := range sources {
+		sources[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiSource(g, sources)
+	}
+}

@@ -1,0 +1,140 @@
+// Package stats provides the summary statistics used by the experiment
+// reports and the stats command: quantiles, log-scale histograms and
+// degree-distribution summaries of graphs.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"graphdiam/internal/graph"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using the
+// nearest-rank method. Panics on empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Summary holds the five-number-ish summary of a sample.
+type Summary struct {
+	Count          int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes a Summary; zero value for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	s.P50 = Quantile(xs, 0.50)
+	s.P90 = Quantile(xs, 0.90)
+	s.P99 = Quantile(xs, 0.99)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g p50=%.4g mean=%.4g p90=%.4g p99=%.4g max=%.4g",
+		s.Count, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max)
+}
+
+// LogHistogram counts values into power-of-two buckets: bucket i holds
+// values in [2^i, 2^(i+1)). Values below 1 land in bucket 0.
+type LogHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewLogHistogram returns an empty histogram.
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{counts: map[int]int{}}
+}
+
+// Add records one value.
+func (h *LogHistogram) Add(v float64) {
+	b := 0
+	if v >= 1 {
+		b = int(math.Log2(v))
+	}
+	h.counts[b]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *LogHistogram) Total() int { return h.total }
+
+// Write renders the histogram with proportional bars.
+func (h *LogHistogram) Write(w io.Writer) {
+	if h.total == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	buckets := make([]int, 0, len(h.counts))
+	maxCount := 0
+	for b, c := range h.counts {
+		buckets = append(buckets, b)
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		c := h.counts[b]
+		bar := int(40 * float64(c) / float64(maxCount))
+		fmt.Fprintf(w, "[2^%-2d, 2^%-2d) %8d %s\n", b, b+1, c, bars(bar))
+	}
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// DegreeDistribution returns the degree of every node and a Summary of it.
+func DegreeDistribution(g *graph.Graph) ([]float64, Summary) {
+	degs := make([]float64, g.NumNodes())
+	for u := range degs {
+		degs[u] = float64(g.Degree(graph.NodeID(u)))
+	}
+	return degs, Summarize(degs)
+}
+
+// WeightDistribution returns every edge weight and a Summary of them.
+func WeightDistribution(g *graph.Graph) ([]float64, Summary) {
+	ws := make([]float64, 0, g.NumEdges())
+	g.ForEachEdge(func(_, _ graph.NodeID, w float64) {
+		ws = append(ws, w)
+	})
+	return ws, Summarize(ws)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/rng"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q100 = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.Count != 5 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean != 22 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 %v", s.P50)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Fatal("empty summary")
+	}
+	if !strings.Contains(s.String(), "p99") {
+		t.Fatal("String incomplete")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		s := Summarize(xs)
+		return prev == s.Max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	var buf bytes.Buffer
+	h.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "[2^0 , 2^1 )") {
+		t.Fatalf("histogram output:\n%s", out)
+	}
+	// Empty histogram renders gracefully.
+	var buf2 bytes.Buffer
+	NewLogHistogram().Write(&buf2)
+	if !strings.Contains(buf2.String(), "empty") {
+		t.Fatal("empty histogram output")
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := gen.Star(10)
+	degs, s := DegreeDistribution(g)
+	if len(degs) != 10 {
+		t.Fatal("length")
+	}
+	if s.Max != 9 || s.Min != 1 {
+		t.Fatalf("star summary %+v", s)
+	}
+}
+
+func TestWeightDistribution(t *testing.T) {
+	g := gen.WeightedPath([]float64{1, 2, 3})
+	ws, s := WeightDistribution(g)
+	if len(ws) != 3 || s.Mean != 2 {
+		t.Fatalf("weights %v summary %+v", ws, s)
+	}
+}

@@ -1,0 +1,150 @@
+// Package validate provides reference diameter computations used to judge
+// approximation quality:
+//
+//   - ExactDiameter: all-pairs Dijkstra (parallel over sources), feasible
+//     for graphs up to a few tens of thousands of nodes;
+//   - LowerBound: the paper's reference procedure — run sequential SSSP
+//     repeatedly, each time from the farthest node reached by the previous
+//     run, and keep the heaviest shortest path seen (Table 2's footnote).
+//
+// Approximation ratios reported by the experiments harness are
+// estimate / LowerBound, exactly as in the paper.
+package validate
+
+import (
+	"math"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/sssp"
+)
+
+// ExactDiameter computes the exact weighted diameter of g — the maximum
+// finite pairwise distance, which for disconnected graphs is the largest
+// distance within a component, per the paper's convention — by running
+// Dijkstra from every node in parallel on e. Quadratic; intended for
+// validation on small graphs.
+func ExactDiameter(g *graph.Graph, e *bsp.Engine) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return e.ReduceFloat64(n, func(_, start, end int) float64 {
+		best := 0.0
+		for s := start; s < end; s++ {
+			dist := sssp.Dijkstra(g, graph.NodeID(s))
+			ecc, _ := sssp.Eccentricity(dist)
+			if ecc > best {
+				best = ecc
+			}
+		}
+		return best
+	}, math.Max)
+}
+
+// LowerBound computes a lower bound on the weighted diameter by iterated
+// farthest-node sweeps: an SSSP from start, then from the farthest node it
+// reached, and so on for the given number of sweeps. The returned value is
+// the largest eccentricity observed, which is at most Φ(G) and in practice
+// extremely close to it. It also returns the last farthest node, useful as
+// a good SSSP source.
+func LowerBound(g *graph.Graph, start graph.NodeID, sweeps int) (float64, graph.NodeID) {
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	best := 0.0
+	cur := start
+	far := start
+	for i := 0; i < sweeps; i++ {
+		dist := sssp.Dijkstra(g, cur)
+		ecc, argmax := sssp.Eccentricity(dist)
+		if ecc > best {
+			best = ecc
+			far = argmax
+		}
+		if argmax == cur {
+			break // isolated node or fixpoint
+		}
+		cur = argmax
+	}
+	return best, far
+}
+
+// LowerBoundMultiStart runs LowerBound from each of the given start nodes
+// and returns the best bound found.
+func LowerBoundMultiStart(g *graph.Graph, starts []graph.NodeID, sweepsEach int) float64 {
+	best := 0.0
+	for _, s := range starts {
+		if lb, _ := LowerBound(g, s, sweepsEach); lb > best {
+			best = lb
+		}
+	}
+	return best
+}
+
+// UnweightedDiameter computes the exact unweighted diameter Ψ(G) (maximum
+// hop distance within a component) by parallel BFS from every node.
+// Quadratic; for validation and for checking Corollary 1's Ψ/n^(ε'/b)
+// round bound on small graphs.
+func UnweightedDiameter(g *graph.Graph, e *bsp.Engine) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	best := e.ReduceFloat64(n, func(_, start, end int) float64 {
+		localBest := 0
+		depth := make([]int32, n)
+		queue := make([]graph.NodeID, 0, n)
+		for s := start; s < end; s++ {
+			for i := range depth {
+				depth[i] = -1
+			}
+			queue = append(queue[:0], graph.NodeID(s))
+			depth[s] = 0
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				ts, _ := g.Neighbors(u)
+				for _, v := range ts {
+					if depth[v] < 0 {
+						depth[v] = depth[u] + 1
+						queue = append(queue, v)
+					}
+				}
+			}
+			for _, d := range depth {
+				if int(d) > localBest {
+					localBest = int(d)
+				}
+			}
+		}
+		return float64(localBest)
+	}, math.Max)
+	return int(best)
+}
+
+// EccentricityBFS returns the unweighted eccentricity of src.
+func EccentricityBFS(g *graph.Graph, src graph.NodeID) int {
+	n := g.NumNodes()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, 1024)
+	queue = append(queue, src)
+	depth[src] = 0
+	best := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		ts, _ := g.Neighbors(u)
+		for _, v := range ts {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				if int(depth[v]) > best {
+					best = int(depth[v])
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return best
+}
