@@ -1,0 +1,111 @@
+// Command graphdiamd serves graphdiam's decomposition and diameter
+// algorithms over HTTP — the long-running counterpart to the one-shot
+// cldiam/deltastep CLIs.
+//
+// Usage:
+//
+//	graphdiamd -addr :8080
+//	graphdiamd -addr :8080 -preload usa=road:256 -preload social=rmat:16
+//
+// Clients register graphs (generated from a spec or uploaded inline) and
+// query decompositions and diameter approximations; identical queries are
+// served from an LRU result cache and concurrent identical queries share a
+// single BSP run. -max-concurrent caps how many BSP engines execute at
+// once. The process drains in-flight requests and exits cleanly on SIGINT
+// or SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/server"
+	"graphdiam/internal/store"
+)
+
+// preloads collects repeated -preload name=spec flags.
+type preloads []string
+
+func (p *preloads) String() string     { return strings.Join(*p, ",") }
+func (p *preloads) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxEntries    = flag.Int("max-entries", 256, "result cache capacity (entries)")
+		maxConcurrent = flag.Int("max-concurrent", 2, "max BSP computations executing at once")
+		maxBody       = flag.Int64("max-body", 64<<20, "max request body bytes")
+		seed          = flag.Uint64("seed", 1, "seed for -preload graph generation")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		quiet         = flag.Bool("quiet", false, "disable request logging")
+		pre           preloads
+	)
+	flag.Var(&pre, "preload", "register a graph at boot as name=spec (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "graphdiamd: ", log.LstdFlags)
+
+	st := store.New(store.Config{
+		MaxEntries:    *maxEntries,
+		MaxConcurrent: *maxConcurrent,
+	})
+	for _, p := range pre {
+		name, spec, ok := strings.Cut(p, "=")
+		if !ok || name == "" || spec == "" {
+			logger.Fatalf("bad -preload %q (want name=spec)", p)
+		}
+		g, err := gen.FromSpec(spec, *seed)
+		if err != nil {
+			logger.Fatalf("preload %q: %v", p, err)
+		}
+		info, err := st.AddGraph(name, g, fmt.Sprintf("preload %s seed=%d", spec, *seed))
+		if err != nil {
+			logger.Fatalf("preload %q: %v", p, err)
+		}
+		logger.Printf("preloaded %s: n=%d m=%d", info.Name, info.NumNodes, info.NumEdges)
+	}
+
+	cfg := server.Config{MaxRequestBytes: *maxBody}
+	if !*quiet {
+		cfg.Log = logger
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(st, cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (cache=%d entries, %d concurrent BSP runs)",
+			*addr, *maxEntries, *maxConcurrent)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}

@@ -6,13 +6,11 @@ package cli
 import (
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"graphdiam/internal/gen"
 	"graphdiam/internal/gio"
 	"graphdiam/internal/graph"
-	"graphdiam/internal/rng"
 )
 
 // LoadGraph reads a graph from path, dispatching on the extension:
@@ -36,75 +34,12 @@ func LoadGraph(path string) (*graph.Graph, error) {
 	}
 }
 
-// LoadSpec builds a graph from a compact generator spec of the form
-// "family:param[:param...]" with uniform (0,1] weights where the family is
-// born unweighted:
-//
-//	mesh:256          256×256 mesh
-//	rmat:16           R-MAT(16)
-//	road:128          synthetic road network, 128×128 lattice
-//	roads:4:64        roads-product, 4 layers over a 64-lattice base
-//	gnm:10000:80000   Erdős–Rényi G(n,m)
-//	path:1000         unit path
-//
-// The seed drives both topology and weights.
+// LoadSpec builds a graph from a compact generator spec such as "mesh:256"
+// or "rmat:16". The grammar lives in gen.FromSpec, which is shared with the
+// graphdiamd server's generate endpoint; the seed drives both topology and
+// weights.
 func LoadSpec(spec string, seed uint64) (*graph.Graph, error) {
-	parts := strings.Split(spec, ":")
-	r := rng.New(seed)
-	atoi := func(i int) (int, error) {
-		if i >= len(parts) {
-			return 0, fmt.Errorf("cli: spec %q: missing parameter %d", spec, i)
-		}
-		return strconv.Atoi(parts[i])
-	}
-	switch parts[0] {
-	case "mesh":
-		s, err := atoi(1)
-		if err != nil {
-			return nil, err
-		}
-		return gen.UniformWeights(gen.Mesh(s), r), nil
-	case "rmat":
-		s, err := atoi(1)
-		if err != nil {
-			return nil, err
-		}
-		return gen.UniformWeights(gen.RMatDefault(s, r), r), nil
-	case "road":
-		s, err := atoi(1)
-		if err != nil {
-			return nil, err
-		}
-		return gen.RoadNetwork(gen.DefaultRoadNetworkOptions(s), r), nil
-	case "roads":
-		layers, err := atoi(1)
-		if err != nil {
-			return nil, err
-		}
-		side, err := atoi(2)
-		if err != nil {
-			return nil, err
-		}
-		return gen.Roads(layers, side, r), nil
-	case "gnm":
-		n, err := atoi(1)
-		if err != nil {
-			return nil, err
-		}
-		m, err := atoi(2)
-		if err != nil {
-			return nil, err
-		}
-		return gen.UniformWeights(gen.GNM(n, m, r), r), nil
-	case "path":
-		n, err := atoi(1)
-		if err != nil {
-			return nil, err
-		}
-		return gen.Path(n), nil
-	default:
-		return nil, fmt.Errorf("cli: unknown family %q in spec %q", parts[0], spec)
-	}
+	return gen.FromSpec(spec, seed)
 }
 
 // Load resolves the -graph / -spec flag pair: exactly one must be set.

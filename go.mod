@@ -1,0 +1,3 @@
+module graphdiam
+
+go 1.22

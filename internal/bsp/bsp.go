@@ -36,12 +36,12 @@ type Snapshot struct {
 	// Rounds is the number of parallel supersteps executed. In a
 	// MapReduce-like system each superstep is a constant number of
 	// communication rounds (Fact 1 of the paper).
-	Rounds int64
+	Rounds int64 `json:"rounds"`
 	// Messages counts inter-partition notifications generated (the
 	// "messages" component of the paper's work measure).
-	Messages int64
+	Messages int64 `json:"messages"`
 	// Updates counts node-state writes (the "node updates" component).
-	Updates int64
+	Updates int64 `json:"updates"`
 }
 
 // Work returns the paper's aggregate work measure: updates + messages.

@@ -1,0 +1,184 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// Spec size caps. FromSpec is reachable from untrusted input (the
+// graphdiamd /v1/graphs endpoint), so every family bounds the graph it is
+// asked to build: the generators themselves panic on misuse, which is fine
+// for library callers but must surface as an error at this boundary.
+const (
+	maxSpecNodes = 1 << 24 // 16M nodes
+	maxSpecEdges = 1 << 26 // 64M edge samples (gnm, rmat)
+)
+
+// FromSpec builds a graph from a compact generator spec of the form
+// "family:param[:param...]" with uniform (0,1] weights where the family is
+// born unweighted:
+//
+//	mesh:256          256×256 mesh
+//	rmat:16           R-MAT(16)
+//	road:128          synthetic road network, 128×128 lattice
+//	roads:4:64        roads-product, 4 layers over a 64-lattice base
+//	gnm:10000:80000   Erdős–Rényi G(n,m)
+//	ba:10000:4        Barabási–Albert, 4 edges per new node
+//	ws:10000:8:0.1    Watts–Strogatz, k=8 β=0.1
+//	path:1000         unit path
+//	cycle:1000        unit cycle
+//	star:1000         unit star
+//	tree:1023         complete-ish binary tree
+//	torus:64          64×64 torus
+//	hypercube:12      12-dimensional hypercube
+//
+// The seed drives both topology and weights. Specs are the wire format of
+// the /v1/graphs generate endpoint as well as the -spec CLI flag, so runs
+// are reproducible from the (spec, seed) pair alone. Parameters are
+// validated — malformed or oversized specs return an error, never panic.
+func FromSpec(spec string, seed uint64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	r := rng.New(seed)
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("gen: spec %q: %s", spec, fmt.Sprintf(format, args...))
+	}
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, bad("missing parameter %d", i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, bad("parameter %d: %v", i, err)
+		}
+		return v, nil
+	}
+	// intIn parses parameter i and range-checks it.
+	intIn := func(i, lo, hi int, what string) (int, error) {
+		v, err := atoi(i)
+		if err != nil {
+			return 0, err
+		}
+		if v < lo || v > hi {
+			return 0, bad("%s %d out of range [%d, %d]", what, v, lo, hi)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "mesh":
+		s, err := intIn(1, 1, 4096, "side")
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(Mesh(s), r), nil
+	case "torus":
+		s, err := intIn(1, 1, 4096, "side")
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(Torus(s), r), nil
+	case "rmat":
+		s, err := intIn(1, 1, 22, "scale")
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(RMatDefault(s, r), r), nil
+	case "road":
+		s, err := intIn(1, 2, 4096, "side")
+		if err != nil {
+			return nil, err
+		}
+		return RoadNetwork(DefaultRoadNetworkOptions(s), r), nil
+	case "roads":
+		layers, err := intIn(1, 1, 4096, "layers")
+		if err != nil {
+			return nil, err
+		}
+		side, err := intIn(2, 2, 4096, "side")
+		if err != nil {
+			return nil, err
+		}
+		if layers*side*side > maxSpecNodes {
+			return nil, bad("%d layers × %d² exceeds %d nodes", layers, side, maxSpecNodes)
+		}
+		return Roads(layers, side, r), nil
+	case "gnm":
+		n, err := intIn(1, 1, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		m, err := intIn(2, 0, maxSpecEdges, "m")
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(GNM(n, m, r), r), nil
+	case "ba":
+		n, err := intIn(1, 2, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		m, err := intIn(2, 1, n-1, "m")
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(BarabasiAlbert(n, m, r), r), nil
+	case "ws":
+		n, err := intIn(1, 3, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		k, err := intIn(2, 2, n-1, "k")
+		if err != nil {
+			return nil, err
+		}
+		if k%2 != 0 {
+			return nil, bad("k %d must be even", k)
+		}
+		if len(parts) <= 3 {
+			return nil, bad("missing parameter 3")
+		}
+		beta, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, bad("parameter 3: %v", err)
+		}
+		if beta < 0 || beta > 1 {
+			return nil, bad("beta %g out of range [0, 1]", beta)
+		}
+		return UniformWeights(WattsStrogatz(n, k, beta, r), r), nil
+	case "path":
+		n, err := intIn(1, 1, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		return Path(n), nil
+	case "cycle":
+		n, err := intIn(1, 1, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		return Cycle(n), nil
+	case "star":
+		n, err := intIn(1, 1, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		return Star(n), nil
+	case "tree":
+		n, err := intIn(1, 1, maxSpecNodes, "n")
+		if err != nil {
+			return nil, err
+		}
+		return BinaryTree(n), nil
+	case "hypercube":
+		d, err := intIn(1, 0, 20, "dimension")
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(Hypercube(d), r), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q in spec %q", parts[0], spec)
+	}
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromSpecFamilies(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int // expected node count, 0 to skip the check
+	}{
+		{"mesh:8", 64},
+		{"torus:8", 64},
+		{"rmat:8", 256},
+		{"road:16", 0}, // largest component of a jittered lattice
+		{"roads:2:8", 0}, // road base is trimmed to its largest component
+		{"gnm:100:300", 100},
+		{"ba:100:3", 100},
+		{"ws:100:4:0.1", 100},
+		{"path:50", 50},
+		{"cycle:50", 50},
+		{"star:50", 50},
+		{"tree:31", 31},
+		{"hypercube:5", 32},
+	}
+	for _, tc := range cases {
+		g, err := FromSpec(tc.spec, 1)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if tc.n != 0 && g.NumNodes() != tc.n {
+			t.Errorf("%s: n=%d, want %d", tc.spec, g.NumNodes(), tc.n)
+		}
+	}
+}
+
+func TestFromSpecDeterministic(t *testing.T) {
+	a, err := FromSpec("rmat:8", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FromSpec("rmat:8", 7)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() ||
+		a.AvgEdgeWeight() != b.AvgEdgeWeight() {
+		t.Fatal("FromSpec not deterministic in (spec, seed)")
+	}
+}
+
+// TestFromSpecRejectsBadInput: FromSpec is the untrusted-input boundary
+// (the server's generate endpoint), so degenerate or oversized specs must
+// return errors — the generator panics must be unreachable through it.
+func TestFromSpecRejectsBadInput(t *testing.T) {
+	bad := []string{
+		"",              // unknown family
+		"frob:9",        // unknown family
+		"mesh",          // missing param
+		"mesh:abc",      // non-numeric
+		"mesh:0",        // below range
+		"mesh:100000",   // would allocate 10^10 nodes
+		"rmat:30",       // oversized
+		"road:1",        // generator requires side >= 2
+		"roads:4096:4096", // product over node cap
+		"gnm:0:5",       // rng.Intn(0) panic without validation
+		"gnm:10:-1",     // negative m
+		"ba:10:10",      // needs m < n
+		"ba:1:1",        // needs n >= 2
+		"ws:10:3:0.1",   // odd k
+		"ws:10:10:0.1",  // k >= n
+		"ws:10:4:1.5",   // beta out of [0,1]
+		"ws:10:4:x",     // non-numeric beta
+		"ws:10:4",       // missing beta
+		"path:-2",       // makeslice panic without validation
+		"path:0",
+		"hypercube:40",  // 2^40 nodes
+	}
+	for _, spec := range bad {
+		g, err := FromSpec(spec, 1)
+		if err == nil {
+			t.Errorf("%q: accepted (n=%d)", spec, g.NumNodes())
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "gen:") {
+			t.Errorf("%q: error %q lacks package prefix", spec, err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package server exposes the store's decomposition-as-a-service over an
+// HTTP/JSON API — the serving tier of graphdiamd.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/graphs          register a graph: generate from a spec
+//	                           ({"name","spec","seed"}) or upload inline
+//	                           data ({"name","format","data"} with format
+//	                           edgelist | dimacs | metis)
+//	GET    /v1/graphs          list registered graphs
+//	GET    /v1/graphs/{name}   describe one graph
+//	DELETE /v1/graphs/{name}   deregister a graph and drop its results
+//	POST   /v1/decompose       run/fetch a CLUSTER(2) decomposition
+//	POST   /v1/diameter        run/fetch a CL-DIAM diameter approximation
+//	GET    /v1/stats           store counters, cache state, BSP cost totals
+//	GET    /healthz            liveness probe
+//
+// Compute responses carry a "cached" flag: true when the result came from
+// the store's LRU cache or by joining a concurrent identical request
+// (singleflight), false when this request triggered the BSP run. Errors are
+// rendered as {"error": "..."} with a matching HTTP status.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/gio"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/store"
+)
+
+// Config tunes the HTTP layer. Zero values select the defaults.
+type Config struct {
+	// MaxRequestBytes bounds request bodies (graph uploads dominate).
+	// Default 64 MiB.
+	MaxRequestBytes int64
+	// Log receives one line per request; nil disables request logging.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is an http.Handler serving the v1 API on top of a store.
+type Server struct {
+	st  *store.Store
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds the API handler around st.
+func New(st *store.Store, cfg Config) *Server {
+	s := &Server{st: st, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
+	s.mux.HandleFunc("POST /v1/diameter", s.handleDiameter)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// AddGraphRequest is the POST /v1/graphs body. Exactly one of Spec or Data
+// must be set.
+type AddGraphRequest struct {
+	// Name registers the graph for later queries.
+	Name string `json:"name"`
+	// Spec generates a synthetic graph, e.g. "mesh:256", "rmat:16",
+	// "road:128", "gnm:10000:80000" (see gen.FromSpec for the grammar).
+	Spec string `json:"spec,omitempty"`
+	// Seed drives generation (topology and weights).
+	Seed uint64 `json:"seed,omitempty"`
+	// Format names the encoding of Data: "edgelist" (default), "dimacs",
+	// or "metis".
+	Format string `json:"format,omitempty"`
+	// Data is the inline graph text for uploads.
+	Data string `json:"data,omitempty"`
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var req AddGraphRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing graph name"))
+		return
+	}
+	var (
+		g      *graph.Graph
+		source string
+		err    error
+	)
+	switch {
+	case req.Spec != "" && req.Data != "":
+		writeError(w, http.StatusBadRequest, fmt.Errorf("spec and data are mutually exclusive"))
+		return
+	case req.Spec != "":
+		g, err = gen.FromSpec(req.Spec, req.Seed)
+		source = fmt.Sprintf("spec %s seed=%d", req.Spec, req.Seed)
+	case req.Data != "":
+		g, err = decodeGraphData(req.Format, req.Data)
+		source = "upload " + formatName(req.Format)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("one of spec or data is required"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.st.AddGraph(req.Name, g, source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// decodeGraphData parses inline upload text in the named format.
+func decodeGraphData(format, data string) (*graph.Graph, error) {
+	r := strings.NewReader(data)
+	switch formatName(format) {
+	case "edgelist":
+		return gio.ReadEdgeList(r)
+	case "dimacs":
+		return gio.ReadDIMACS(r)
+	case "metis":
+		return gio.ReadMETIS(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want edgelist, dimacs, or metis)", format)
+	}
+}
+
+func formatName(format string) string {
+	if format == "" {
+		return "edgelist"
+	}
+	return strings.ToLower(format)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.st.Graphs()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	_, info, ok := s.st.Graph(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, &store.NotFoundError{Name: name})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.st.RemoveGraph(name) {
+		writeError(w, http.StatusNotFound, &store.NotFoundError{Name: name})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// ComputeRequest is the POST /v1/decompose and /v1/diameter body: the
+// target graph plus the full algorithm parameter set (cache key fields).
+type ComputeRequest struct {
+	Graph string `json:"graph"`
+	store.Params
+}
+
+// DecomposeResponse wraps a decomposition result with its cache provenance.
+type DecomposeResponse struct {
+	store.DecomposeResult
+	Cached bool `json:"cached"`
+}
+
+// DiameterResponse wraps a diameter result with its cache provenance.
+type DiameterResponse struct {
+	store.DiameterResult
+	Cached bool `json:"cached"`
+}
+
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req ComputeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	res, cached, err := s.st.Decompose(r.Context(), req.Graph, req.Params)
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DecomposeResponse{DecomposeResult: res, Cached: cached})
+}
+
+func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
+	var req ComputeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	res, cached, err := s.st.Diameter(r.Context(), req.Graph, req.Params)
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DiameterResponse{DiameterResult: res, Cached: cached})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.st.Stats())
+}
+
+// writeComputeError maps store errors to HTTP statuses.
+func writeComputeError(w http.ResponseWriter, err error) {
+	var nf *store.NotFoundError
+	switch {
+	case errors.As(err, &nf):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusRequestTimeout, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// decodeJSON parses the request body into v, writing a 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	// Reject trailing garbage so "two JSON objects" is not silently half-read.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: trailing data"))
+		return false
+	}
+	io.Copy(io.Discard, r.Body)
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,359 @@
+// Package store turns graphdiam's one-shot decomposition and diameter
+// algorithms into a long-running service layer: a named graph registry plus
+// an LRU cache of computation results with singleflight deduplication.
+//
+// Graphs are registered once under a client-chosen name and queried many
+// times. Every query (decompose, diameter) is keyed by the registered
+// graph's identity and the full algorithm parameter set; identical queries
+// hit the cache, and identical queries arriving concurrently share a single
+// underlying BSP run — the followers block until the leader's run completes
+// and then all return the same result. Distinct computations run on their
+// own bsp.Engine, but a global semaphore caps how many engines execute at
+// once so a burst of distinct queries cannot oversubscribe the host.
+//
+// The algorithms are deterministic in (graph, parameters) including across
+// worker counts, so cached results are exact, not approximations of what a
+// fresh run would return; only the platform-independent metrics attached to
+// the result reflect the original run.
+package store
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/graph"
+)
+
+// Config sizes a Store. Zero values select the defaults.
+type Config struct {
+	// MaxEntries bounds the result cache; the least recently used entry is
+	// evicted when a new result would exceed it. Default 256.
+	MaxEntries int
+	// MaxConcurrent caps the number of BSP computations executing at once
+	// across all graphs and operations. Queued computations wait for a
+	// slot (or their context). Default 2.
+	MaxConcurrent int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	return c
+}
+
+// GraphInfo describes a registered graph.
+type GraphInfo struct {
+	Name      string    `json:"name"`
+	NumNodes  int       `json:"numNodes"`
+	NumEdges  int       `json:"numEdges"`
+	AvgWeight float64   `json:"avgWeight"`
+	Source    string    `json:"source"`
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// graphEntry pairs a registered graph with a process-unique id. The id, not
+// the name, keys cached results, so re-registering a name with a different
+// graph can never serve stale results.
+type graphEntry struct {
+	id   uint64
+	g    *graph.Graph
+	info GraphInfo
+}
+
+// key identifies one cached computation.
+type key struct {
+	graphID uint64
+	params  string // canonical parameter string, see Params.canonical
+}
+
+// entry is one cache slot.
+type entry struct {
+	key key
+	val any
+}
+
+// flight is one in-progress computation that concurrent identical requests
+// attach to.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Counters are the store's monotone event counts. A Snapshot of them is
+// served by /v1/stats.
+type Counters struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	Dedups       int64 `json:"dedups"` // requests that joined an in-flight computation
+	Computations int64 `json:"computations"`
+	Errors       int64 `json:"errors"`
+}
+
+// Stats is a point-in-time view of the store for monitoring.
+type Stats struct {
+	Counters      Counters     `json:"counters"`
+	CacheEntries  int          `json:"cacheEntries"`
+	MaxEntries    int          `json:"maxEntries"`
+	InFlight      int          `json:"inFlight"`
+	MaxConcurrent int          `json:"maxConcurrent"`
+	Graphs        []GraphInfo  `json:"graphs"`
+	TotalCost     bsp.Snapshot `json:"totalCost"` // summed metrics of all completed runs
+}
+
+// Store is the concurrent service layer. All methods are safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+	sem chan struct{} // compute slots
+
+	mu      sync.Mutex
+	nextID  uint64
+	graphs  map[string]*graphEntry
+	cache   map[key]*list.Element // values are *entry wrapped in list elements
+	lru     *list.List            // front = most recently used
+	flights map[key]*flight
+	ctrs    Counters
+	cost    bsp.Metrics // accumulated metrics of completed computations
+	now     func() time.Time
+}
+
+// New returns an empty store sized by cfg.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	return &Store{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		graphs:  make(map[string]*graphEntry),
+		cache:   make(map[key]*list.Element),
+		lru:     list.New(),
+		flights: make(map[key]*flight),
+		now:     time.Now,
+	}
+}
+
+// AddGraph registers g under name. source is a human-readable provenance
+// string ("spec mesh:64 seed=1", "upload .gr", ...). Registering an
+// existing name replaces the graph; cached results of the old graph are
+// dropped.
+func (s *Store) AddGraph(name string, g *graph.Graph, source string) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("store: graph name must be non-empty")
+	}
+	if g == nil {
+		return GraphInfo{}, fmt.Errorf("store: graph must be non-nil")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.graphs[name]; ok {
+		s.purgeLocked(old.id)
+	}
+	s.nextID++
+	e := &graphEntry{
+		id: s.nextID,
+		g:  g,
+		info: GraphInfo{
+			Name:      name,
+			NumNodes:  g.NumNodes(),
+			NumEdges:  g.NumEdges(),
+			AvgWeight: g.AvgEdgeWeight(),
+			Source:    source,
+			CreatedAt: s.now(),
+		},
+	}
+	s.graphs[name] = e
+	return e.info, nil
+}
+
+// Graph returns the registered graph and its info.
+func (s *Store) Graph(name string) (*graph.Graph, GraphInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.graphs[name]
+	if !ok {
+		return nil, GraphInfo{}, false
+	}
+	return e.g, e.info, true
+}
+
+// RemoveGraph deregisters name and drops its cached results. It reports
+// whether the name was registered.
+func (s *Store) RemoveGraph(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.graphs[name]
+	if !ok {
+		return false
+	}
+	s.purgeLocked(e.id)
+	delete(s.graphs, name)
+	return true
+}
+
+// Graphs lists registered graphs sorted by name.
+func (s *Store) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats returns a point-in-time monitoring view.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Counters:      s.ctrs,
+		CacheEntries:  s.lru.Len(),
+		MaxEntries:    s.cfg.MaxEntries,
+		InFlight:      len(s.flights),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		TotalCost:     s.cost.Snapshot(),
+	}
+	for _, e := range s.graphs {
+		out.Graphs = append(out.Graphs, e.info)
+	}
+	sort.Slice(out.Graphs, func(i, j int) bool { return out.Graphs[i].Name < out.Graphs[j].Name })
+	return out
+}
+
+// purgeLocked removes every cache entry and does not wait for flights of
+// the given graph id. Caller holds s.mu.
+func (s *Store) purgeLocked(graphID uint64) {
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*entry)
+		if ent.key.graphID == graphID {
+			s.lru.Remove(el)
+			delete(s.cache, ent.key)
+		}
+		el = next
+	}
+}
+
+// do returns the cached value for (graph, params), joining an in-flight
+// identical computation if one exists, and otherwise computing it by
+// running fn on the registered graph under the concurrency cap. cached
+// reports whether the value was served without running fn (cache hit or
+// joined flight).
+//
+// A follower whose leader was cancelled (the leader's own context expired
+// while waiting for a compute slot) retries instead of inheriting the
+// leader's error: one retrier becomes the new leader, the rest join its
+// flight. A follower only fails on its own context.
+func (s *Store) do(ctx context.Context, graphName, params string,
+	fn func(g *graph.Graph) (any, error)) (val any, cached bool, err error) {
+
+	for {
+		s.mu.Lock()
+		ge, ok := s.graphs[graphName]
+		if !ok {
+			s.mu.Unlock()
+			return nil, false, &NotFoundError{Name: graphName}
+		}
+		k := key{graphID: ge.id, params: params}
+		if el, ok := s.cache[k]; ok {
+			s.lru.MoveToFront(el)
+			s.ctrs.Hits++
+			v := el.Value.(*entry).val
+			s.mu.Unlock()
+			return v, true, nil
+		}
+		if f, ok := s.flights[k]; ok {
+			s.ctrs.Dedups++
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && isContextErr(f.err) {
+					if ctx.Err() != nil {
+						return nil, false, ctx.Err()
+					}
+					continue // leader cancelled, not us: retry
+				}
+				return f.val, true, f.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		s.ctrs.Misses++
+		f := &flight{done: make(chan struct{})}
+		s.flights[k] = f
+		g := ge.g
+		s.mu.Unlock()
+
+		// Leader path: acquire a compute slot, run, publish.
+		select {
+		case s.sem <- struct{}{}:
+			f.val, f.err = fn(g)
+			<-s.sem
+		case <-ctx.Done():
+			f.err = ctx.Err()
+		}
+
+		s.mu.Lock()
+		delete(s.flights, k)
+		switch {
+		case f.err == nil:
+			s.ctrs.Computations++
+			s.insertLocked(graphName, k, f.val)
+		case !isContextErr(f.err):
+			s.ctrs.Errors++ // client disconnects are not store errors
+		}
+		s.mu.Unlock()
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+// isContextErr reports whether err is a cancellation/deadline error — the
+// signature of an abandoned request rather than a failed computation.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// insertLocked adds a freshly computed value, evicting from the LRU tail.
+// The insert is skipped when the graph was removed or replaced while the
+// computation ran — the old id's key could never be matched again and
+// would only squat an LRU slot. Caller holds s.mu.
+func (s *Store) insertLocked(graphName string, k key, val any) {
+	if ge, ok := s.graphs[graphName]; !ok || ge.id != k.graphID {
+		return
+	}
+	s.cache[k] = s.lru.PushFront(&entry{key: k, val: val})
+	for s.lru.Len() > s.cfg.MaxEntries {
+		tail := s.lru.Back()
+		ent := tail.Value.(*entry)
+		s.lru.Remove(tail)
+		delete(s.cache, ent.key)
+		s.ctrs.Evictions++
+	}
+}
+
+// addCost folds one completed run's metrics into the store-wide totals.
+func (s *Store) addCost(m bsp.Snapshot) {
+	s.cost.AddRounds(m.Rounds)
+	s.cost.AddUpdates(m.Updates)
+	s.cost.AddMessages(m.Messages)
+}
+
+// NotFoundError reports a query against an unregistered graph name.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("store: graph %q is not registered", e.Name)
+}
