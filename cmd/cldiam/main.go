@@ -8,12 +8,19 @@
 //
 // -verify additionally computes the iterated-sweep lower bound and prints
 // the approximation ratio against it (as in the paper's Table 2).
+// -progress streams per-stage coverage snapshots to stderr while the
+// decomposition runs. Interrupting the process (Ctrl-C) cancels the run at
+// the next superstep barrier.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"graphdiam/cmd/internal/cli"
 	"graphdiam/internal/bsp"
@@ -34,6 +41,7 @@ func main() {
 		cluster2 = flag.Bool("cluster2", false, "use CLUSTER2 instead of CLUSTER")
 		verify   = flag.Bool("verify", false, "also compute a diameter lower bound and report the ratio")
 		sweeps   = flag.Int("sweeps", 4, "lower-bound sweeps for -verify")
+		progress = flag.Bool("progress", false, "stream per-stage progress to stderr")
 	)
 	flag.Parse()
 
@@ -60,8 +68,25 @@ func main() {
 	if *initMin {
 		opts.InitialDelta = core.DeltaMinWeight
 	}
+	if *progress {
+		opts.Progress = func(p core.Progress) {
+			fmt.Fprintf(os.Stderr, "cldiam: %-8s stage=%-3d Δ=%-10.4g coverage=%5.1f%% %s\n",
+				p.Phase, p.Stage, p.Delta, 100*p.Coverage, p.Metrics)
+		}
+	}
 
-	res := core.ApproxDiameter(g, opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := core.ApproxDiameter(ctx, g, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "cldiam: cancelled")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "cldiam:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("estimate:  %.6g\n", res.Estimate)
 	fmt.Printf("radius:    %.6g   quotient-diameter: %.6g\n", res.Radius, res.QuotientDiameter)
 	fmt.Printf("clusters:  %d (quotient: %d nodes, %d edges)\n",

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"graphdiam/cmd/internal/cli"
@@ -55,9 +58,16 @@ func main() {
 		fmt.Printf("tuned delta: %.6g\n", d)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	e := bsp.New(*workers)
 	start := time.Now()
-	ub, res := sssp.DiameterUpperBound(g, src, d, e)
+	ub, res, err := sssp.DiameterUpperBound(ctx, g, src, d, e)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deltastep:", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 
 	ecc, far := sssp.Eccentricity(res.Dist)

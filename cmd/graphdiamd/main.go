@@ -11,8 +11,11 @@
 // query decompositions and diameter approximations; identical queries are
 // served from an LRU result cache and concurrent identical queries share a
 // single BSP run. -max-concurrent caps how many BSP engines execute at
-// once. The process drains in-flight requests and exits cleanly on SIGINT
-// or SIGTERM.
+// once. Long-running computations are better submitted through the
+// asynchronous /v2/jobs API, which supports polling, SSE progress
+// streaming, and cancellation (see internal/server). The process drains
+// in-flight requests, cancels outstanding jobs, and exits cleanly on
+// SIGINT or SIGTERM.
 package main
 
 import (
@@ -44,9 +47,12 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address")
 		maxEntries    = flag.Int("max-entries", 256, "result cache capacity (entries)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "max BSP computations executing at once")
+		maxJobs       = flag.Int("max-jobs", 512, "job registry retention (terminal jobs evicted oldest-first)")
 		maxBody       = flag.Int64("max-body", 64<<20, "max request body bytes")
 		seed          = flag.Uint64("seed", 1, "seed for -preload graph generation")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		readHeaderTO  = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		idleTO        = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 		quiet         = flag.Bool("quiet", false, "disable request logging")
 		pre           preloads
 	)
@@ -58,7 +64,9 @@ func main() {
 	st := store.New(store.Config{
 		MaxEntries:    *maxEntries,
 		MaxConcurrent: *maxConcurrent,
+		MaxJobs:       *maxJobs,
 	})
+	defer st.Close()
 	for _, p := range pre {
 		name, spec, ok := strings.Cut(p, "=")
 		if !ok || name == "" || spec == "" {
@@ -79,10 +87,14 @@ func main() {
 	if !*quiet {
 		cfg.Log = logger
 	}
+	// No WriteTimeout: /v2/jobs/{id}/events streams SSE for the life of a
+	// job; IdleTimeout still reaps dead keep-alive connections and
+	// ReadHeaderTimeout caps slowloris-style trickled headers.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(st, cfg),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTO,
+		IdleTimeout:       *idleTO,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"graphdiam/internal/bsp"
 	"graphdiam/internal/core"
@@ -27,12 +29,15 @@ func main() {
 	fmt.Printf("exact diameter: %.6f\n\n", exact)
 
 	run := func(name string, init core.DeltaInit, fixed float64) {
-		res := core.ApproxDiameter(g, core.DiamOptions{
+		res, err := core.ApproxDiameter(context.Background(), g, core.DiamOptions{
 			Options: core.Options{
 				Tau: 256, Seed: 1,
 				InitialDelta: init, FixedDelta: fixed,
 			},
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-22s estimate=%-12.6f ratio=%-8.4f radius=%-10.4g rounds=%d\n",
 			name, res.Estimate, res.Estimate/exact, res.Radius, res.Metrics.Rounds)
 	}

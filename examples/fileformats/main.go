@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -63,8 +64,11 @@ func main() {
 }
 
 func estimate(g *graph.Graph) float64 {
-	res := core.ApproxDiameter(g, core.DiamOptions{
+	res, err := core.ApproxDiameter(context.Background(), g, core.DiamOptions{
 		Options: core.Options{Tau: 16, Seed: 3},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	return res.Estimate
 }

@@ -4,7 +4,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"graphdiam/internal/bsp"
 	"graphdiam/internal/core"
@@ -21,10 +23,14 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 
 	// Estimate the diameter: decompose into clusters of bounded radius,
-	// then add the quotient graph's diameter to twice the radius.
-	res := core.ApproxDiameter(g, core.DiamOptions{
+	// then add the quotient graph's diameter to twice the radius. The
+	// context makes long runs cancellable; Background suffices here.
+	res, err := core.ApproxDiameter(context.Background(), g, core.DiamOptions{
 		Options: core.Options{Tau: 128, Seed: 1},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("CL-DIAM estimate: %.4f\n", res.Estimate)
 	fmt.Printf("  clusters=%d radius=%.4f quotient=%d nodes\n",
 		res.Clustering.NumClusters(), res.Radius, res.QuotientNodes)

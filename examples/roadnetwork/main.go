@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"graphdiam/internal/bsp"
@@ -31,10 +33,14 @@ func main() {
 	fmt.Printf("diameter lower bound: %.0f\n\n", lb)
 
 	// CL-DIAM.
+	ctx := context.Background()
 	tau := core.TauForQuotientTarget(g.NumNodes(), 2000)
-	cl := core.ApproxDiameter(g, core.DiamOptions{
+	cl, err := core.ApproxDiameter(ctx, g, core.DiamOptions{
 		Options: core.Options{Tau: tau, Seed: 1},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("CL-DIAM:     estimate=%.0f ratio=%.3f rounds=%d work=%d time=%s\n",
 		cl.Estimate, cl.Estimate/lb, cl.Metrics.Rounds, cl.Metrics.Work(),
 		cl.WallTime.Round(time.Millisecond))
@@ -45,7 +51,10 @@ func main() {
 	avg := g.AvgEdgeWeight()
 	delta := sssp.TuneDelta(g, src, []float64{avg / 4, avg, 4 * avg})
 	start := time.Now()
-	ub, ds := sssp.DiameterUpperBound(g, src, delta, bsp.New(0))
+	ub, ds, err := sssp.DiameterUpperBound(ctx, g, src, delta, bsp.New(0))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Δ-stepping:  estimate=%.0f ratio=%.3f rounds=%d work=%d time=%s\n",
 		ub, ub/lb, ds.Rounds, ds.Work(), time.Since(start).Round(time.Millisecond))
 

@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"graphdiam/internal/bsp"
@@ -25,9 +27,12 @@ func run(name string, g *graph.Graph, workerCounts []int) {
 		// path (sum of per-superstep maxima) is the parallel compute time
 		// a w-machine cluster would pay — meaningful even on a 1-core host.
 		e := bsp.NewSimulated(w)
-		res := core.ApproxDiameter(g, core.DiamOptions{
+		res, err := core.ApproxDiameter(context.Background(), g, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: 3, Engine: e},
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		sim := e.CriticalPath()
 		if base == 0 {
 			base = sim

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -22,6 +23,28 @@ import (
 	"graphdiam/internal/sssp"
 	"graphdiam/internal/validate"
 )
+
+
+// mustDiam adapts the cancellable API for pipeline tests; a background
+// context cannot produce an error.
+func mustDiam(t testing.TB, g *graph.Graph, o core.DiamOptions) core.DiamResult {
+	t.Helper()
+	res, err := core.ApproxDiameter(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("ApproxDiameter: %v", err)
+	}
+	return res
+}
+
+// mustCluster adapts core.Cluster the same way.
+func mustCluster(t testing.TB, g *graph.Graph, o core.Options) *core.Clustering {
+	t.Helper()
+	cl, err := core.Cluster(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	return cl
+}
 
 // TestPipelineGenerateSerializeEstimate drives the full user pipeline
 // through every serialization format.
@@ -52,7 +75,7 @@ func TestPipelineGenerateSerializeEstimate(t *testing.T) {
 		},
 	}
 
-	want := core.ApproxDiameter(orig, core.DiamOptions{Options: core.Options{Tau: 16, Seed: 9}})
+	want := mustDiam(t, orig, core.DiamOptions{Options: core.Options{Tau: 16, Seed: 9}})
 	for name, c := range codecs {
 		var buf bytes.Buffer
 		if err := c.write(&buf, orig); err != nil {
@@ -62,7 +85,7 @@ func TestPipelineGenerateSerializeEstimate(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s read: %v", name, err)
 		}
-		got := core.ApproxDiameter(loaded, core.DiamOptions{Options: core.Options{Tau: 16, Seed: 9}})
+		got := mustDiam(t, loaded, core.DiamOptions{Options: core.Options{Tau: 16, Seed: 9}})
 		if got.Estimate != want.Estimate {
 			t.Fatalf("%s: estimate after round-trip %v != %v", name, got.Estimate, want.Estimate)
 		}
@@ -80,7 +103,7 @@ func TestThreeDecompositionsConservative(t *testing.T) {
 		"cluster2":  {Options: core.Options{Tau: 8, Seed: 3}, UseCluster2: true},
 		"oblivious": {Options: core.Options{Tau: 8, Seed: 3}, WeightOblivious: true},
 	} {
-		res := core.ApproxDiameter(g, opts)
+		res := mustDiam(t, g, opts)
 		if res.Estimate+1e-9 < exact {
 			t.Fatalf("%s: estimate %v below exact %v", name, res.Estimate, exact)
 		}
@@ -107,7 +130,7 @@ func TestQuotientEstimateIsUpperBoundStructurally(t *testing.T) {
 		t.Fatal("test graph should be disconnected")
 	}
 
-	cl := core.Cluster(g, core.Options{Tau: 8, Seed: 1})
+	cl := mustCluster(t, g, core.Options{Tau: 8, Seed: 1})
 	q, centers := quotient.Build(g, cl.Center, cl.Dist, bsp.New(2))
 	if q.NumNodes() != cl.NumClusters() || len(centers) != cl.NumClusters() {
 		t.Fatalf("quotient size %d vs clusters %d", q.NumNodes(), cl.NumClusters())
@@ -133,7 +156,10 @@ func TestBaselineAgainstAllSSSP(t *testing.T) {
 	for gi, g := range graphs {
 		src := graph.NodeID(g.NumNodes() / 3)
 		want := sssp.Dijkstra(g, src)
-		ds := sssp.DeltaStepping(g, src, sssp.SuggestDelta(g), bsp.New(3))
+		ds, err := sssp.DeltaStepping(context.Background(), g, src, sssp.SuggestDelta(g), bsp.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range want {
 			if math.Abs(want[i]-ds.Dist[i]) > 1e-9 &&
 				!(math.IsInf(want[i], 1) && math.IsInf(ds.Dist[i], 1)) {
@@ -155,7 +181,7 @@ func TestMRAndBSPAgreeEndToEnd(t *testing.T) {
 	r := rng.New(75)
 	g := gen.UniformWeights(gen.GNM(300, 900, r), r)
 
-	bspRes := core.ApproxDiameter(g, core.DiamOptions{Options: core.Options{Tau: 8, Seed: 4}})
+	bspRes := mustDiam(t, g, core.DiamOptions{Options: core.Options{Tau: 8, Seed: 4}})
 
 	mrCl := mrcluster.Cluster(g, mrcluster.Options{Tau: 8, Seed: 4, Workers: 2})
 	q, _ := quotient.Build(g, mrCl.Center, mrCl.Dist, bsp.New(2))
@@ -174,7 +200,7 @@ func TestWorkersSweepEndToEnd(t *testing.T) {
 	g := gen.UniformWeights(gen.Mesh(12), r)
 	var want float64
 	for i, workers := range []int{1, 2, 3, 5, 8, 13} {
-		res := core.ApproxDiameter(g, core.DiamOptions{
+		res := mustDiam(t, g, core.DiamOptions{
 			Options: core.Options{Tau: 8, Seed: 6, Engine: bsp.New(workers)},
 		})
 		if i == 0 {

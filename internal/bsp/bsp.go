@@ -10,12 +10,18 @@
 // over contiguous node partitions, separated by barriers, while a Metrics
 // struct accumulates exactly the counters the paper reports.
 //
+// An Engine may be bound to a context.Context (Bind); cancellation is
+// observed cooperatively at superstep barriers only, so the per-edge hot
+// path pays nothing and an abort lands within one superstep (see DESIGN.md
+// "Cancellation at superstep barriers only").
+//
 // The companion package internal/mr implements the rigorous MR(M_T, M_L)
 // key-value model of Pietracaprina et al. for validating round complexities
 // of the primitives; algorithms use this package for throughput.
 package bsp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -85,7 +91,8 @@ func (m *Metrics) Reset() {
 type Engine struct {
 	workers  int
 	simulate bool
-	critPath atomic.Int64 // ns; accumulated max per-step worker time
+	ctx      context.Context // nil means context.Background (never cancelled)
+	critPath atomic.Int64    // ns; accumulated max per-step worker time
 	metrics  Metrics
 }
 
@@ -124,6 +131,33 @@ func (e *Engine) ResetCriticalPath() { e.critPath.Store(0) }
 // machine count).
 func (e *Engine) Workers() int { return e.workers }
 
+// Bind attaches ctx to the engine for cooperative cancellation and returns
+// the engine for chaining. The context is consulted only at superstep
+// barriers — never inside worker loops — so the per-edge hot path pays
+// nothing for cancellability and an abort lands within one superstep.
+// Binding nil restores the never-cancelled default.
+func (e *Engine) Bind(ctx context.Context) *Engine {
+	e.ctx = ctx
+	return e
+}
+
+// Context returns the bound context (context.Background if none was bound).
+func (e *Engine) Context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// Err returns the bound context's error, nil while the run may proceed.
+// Algorithms check it between supersteps and abandon the run when non-nil.
+func (e *Engine) Err() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
 // Metrics returns the engine's metrics accumulator.
 func (e *Engine) Metrics() *Metrics { return &e.metrics }
 
@@ -158,7 +192,15 @@ func (e *Engine) Owner(n, i int) int {
 // ParallelFor runs fn once per worker over its partition of [0, n),
 // blocking until all complete. It does not count a round; use Superstep
 // for metered steps.
+//
+// When the bound context is already cancelled, fn is not executed at all:
+// the step degenerates to a no-op barrier so that an algorithm whose
+// cancellation check lives a few supersteps up the call chain cannot keep
+// burning CPU on work that will be discarded.
 func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
+	if e.Err() != nil {
+		return
+	}
 	if e.simulate {
 		var maxNS int64
 		for w := 0; w < e.workers; w++ {
@@ -189,8 +231,12 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 }
 
 // Superstep runs one metered BSP superstep: a ParallelFor over [0, n)
-// followed by a barrier, incrementing the round counter by one.
+// followed by a barrier, incrementing the round counter by one. A superstep
+// entered after cancellation does not execute and is not metered.
 func (e *Engine) Superstep(n int, fn func(worker, start, end int)) {
+	if e.Err() != nil {
+		return
+	}
 	e.ParallelFor(n, fn)
 	e.metrics.AddRounds(1)
 }
@@ -222,11 +268,4 @@ func (e *Engine) ReduceInt(n int, fn func(worker, start, end int) int) int {
 		total += p
 	}
 	return total
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

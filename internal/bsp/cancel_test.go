@@ -1,0 +1,61 @@
+package bsp
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBindErrAndSkip(t *testing.T) {
+	e := New(4)
+	if e.Err() != nil {
+		t.Fatal("unbound engine must not report an error")
+	}
+	if e.Context() != context.Background() {
+		t.Fatal("unbound engine context must be Background")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if e.Bind(ctx) != e {
+		t.Fatal("Bind must return the receiver")
+	}
+	var ran atomic.Int64
+	e.Superstep(8, func(_, _, _ int) { ran.Add(1) })
+	if ran.Load() == 0 || e.Err() != nil {
+		t.Fatalf("live context: ran=%d err=%v", ran.Load(), e.Err())
+	}
+	rounds := e.Metrics().Snapshot().Rounds
+
+	cancel()
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("Err = %v after cancel", e.Err())
+	}
+	ran.Store(0)
+	e.Superstep(8, func(_, _, _ int) { ran.Add(1) })
+	e.ParallelFor(8, func(_, _, _ int) { ran.Add(1) })
+	if ran.Load() != 0 {
+		t.Fatalf("cancelled engine still executed %d worker calls", ran.Load())
+	}
+	if got := e.Metrics().Snapshot().Rounds; got != rounds {
+		t.Fatalf("cancelled superstep was metered: rounds %d -> %d", rounds, got)
+	}
+
+	// Rebinding nil restores the never-cancelled engine.
+	e.Bind(nil)
+	e.Superstep(8, func(_, _, _ int) { ran.Add(1) })
+	if ran.Load() == 0 || e.Err() != nil {
+		t.Fatalf("rebound engine: ran=%d err=%v", ran.Load(), e.Err())
+	}
+}
+
+func TestReduceUnderCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(3).Bind(ctx)
+	cancel()
+	// Reductions on a cancelled engine return zero values without running;
+	// algorithms must check Err() before trusting them.
+	if v := e.ReduceInt(9, func(_, _, _ int) int { return 1 }); v != 0 {
+		t.Fatalf("cancelled ReduceInt = %d", v)
+	}
+}

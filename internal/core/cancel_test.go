@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/rng"
+)
+
+// waitGoroutines polls until the goroutine count drops back to (near) the
+// baseline, tolerating runtime housekeeping goroutines.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d now vs %d before", runtime.NumGoroutine(), baseline)
+}
+
+// TestClusterCancelledMidRun is the cancellation acceptance test: a
+// decomposition of a large road network cancelled mid-flight returns
+// context.Canceled promptly (within one superstep plus scheduling slack)
+// and leaves no goroutines behind.
+func TestClusterCancelledMidRun(t *testing.T) {
+	g := gen.RoadNetwork(gen.DefaultRoadNetworkOptions(128), rng.New(3))
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel from inside the first stage-boundary progress callback: the
+	// run is then provably mid-flight, with most coverage still to go
+	// (road networks at τ=2 need many stages).
+	var once sync.Once
+	var cancelledAt time.Time
+	opts := Options{
+		Tau:    2,
+		Seed:   1,
+		Engine: bsp.New(4),
+		Progress: func(p Progress) {
+			once.Do(func() {
+				if p.Coverage >= 1 {
+					t.Errorf("first progress snapshot already fully covered (%v)", p)
+				}
+				cancelledAt = time.Now()
+				cancel()
+			})
+		},
+	}
+
+	cl, err := Cluster(ctx, g, opts)
+	elapsed := time.Since(cancelledAt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got cl=%v err=%v", cl, err)
+	}
+	if cl != nil {
+		t.Fatal("cancelled run must not return a clustering")
+	}
+	if cancelledAt.IsZero() {
+		t.Fatal("progress callback never fired")
+	}
+	// "Promptly": one superstep on this graph is far below a second; allow
+	// generous CI slack.
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v to land", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestApproxDiameterAlreadyCancelled: a pre-cancelled context fails fast
+// without doing any metered work.
+func TestApproxDiameterAlreadyCancelled(t *testing.T) {
+	g := gen.UniformWeights(gen.Mesh(16), rng.New(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := bsp.New(2)
+	_, err := ApproxDiameter(ctx, g, DiamOptions{Options: Options{Tau: 8, Seed: 1, Engine: e}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if r := e.Metrics().Snapshot().Rounds; r > 3 {
+		t.Fatalf("pre-cancelled run still executed %d rounds", r)
+	}
+}
+
+// TestClusterProgressMonotoneCoverage: coverage snapshots never regress and
+// the final snapshot reports full coverage.
+func TestClusterProgressMonotoneCoverage(t *testing.T) {
+	g := gen.RoadNetwork(gen.DefaultRoadNetworkOptions(32), rng.New(5))
+	var snaps []Progress
+	cl, err := Cluster(context.Background(), g, Options{
+		Tau: 4, Seed: 2,
+		Progress: func(p Progress) { snaps = append(snaps, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("want several stage snapshots, got %d", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Coverage < snaps[i-1].Coverage {
+			t.Fatalf("coverage regressed: %v after %v", snaps[i], snaps[i-1])
+		}
+		if snaps[i].Metrics.Rounds < snaps[i-1].Metrics.Rounds {
+			t.Fatalf("metrics regressed at snapshot %d", i)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Coverage != 1 || last.Covered != g.NumNodes() {
+		t.Fatalf("final snapshot not fully covered: %+v", last)
+	}
+	if last.Stage != cl.Stages {
+		t.Fatalf("final snapshot stage %d != clustering stages %d", last.Stage, cl.Stages)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -95,13 +96,16 @@ func (c *Clustering) Validate(g *graph.Graph) error {
 // for the algorithm outline and Options for the theory/practice knobs.
 //
 // The returned clustering is deterministic in (g, opts) — including across
-// engine worker counts.
-func Cluster(g *graph.Graph, opts Options) *Clustering {
+// engine worker counts. Cancellation of ctx is observed cooperatively at
+// superstep barriers: the run stops within one Δ-growing step and returns
+// ctx's error with a nil clustering. Progress snapshots, when requested via
+// Options.Progress, are emitted at stage boundaries.
+func Cluster(ctx context.Context, g *graph.Graph, opts Options) (*Clustering, error) {
 	o := opts.withDefaults(g)
-	e := o.Engine
+	e := o.Engine.Bind(ctx)
 	n := g.NumNodes()
 	if n == 0 {
-		return &Clustering{Metrics: e.Metrics().Snapshot()}
+		return &Clustering{Metrics: e.Metrics().Snapshot()}, nil
 	}
 	before := e.Metrics().Snapshot()
 
@@ -152,6 +156,9 @@ func Cluster(g *graph.Graph, opts Options) *Clustering {
 			fixpoint := false
 			for {
 				changed, newly := st.growStep(delta, stage)
+				if err := e.Err(); err != nil {
+					return nil, err
+				}
 				growingSteps++
 				steps++
 				reached += int(newly)
@@ -182,16 +189,25 @@ func Cluster(g *graph.Graph, opts Options) *Clustering {
 		covered := st.finishStage(stage)
 		uncovered -= covered
 		stage++
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
+		o.Progress.emit("cluster", stage, delta, n-uncovered, n,
+			diff(before, e.Metrics().Snapshot()))
 	}
 	if uncovered > 0 {
 		st.coverSingletons(stage)
 		stage++
 	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
 
 	after := e.Metrics().Snapshot()
 	c := buildClustering(st, stage, delta, growingSteps, diff(before, after))
 	c.MaxPartialGrowthSteps = maxPGSteps
-	return c
+	o.Progress.emit("cluster", stage, delta, n, n, c.Metrics)
+	return c, nil
 }
 
 // diff returns the metric delta between two snapshots.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"graphdiam/internal/graph"
@@ -27,16 +28,26 @@ type Cluster2Result struct {
 // CLUSTER2 trades a larger cluster count and weaker radius for that
 // provable approximation; the practical CL-DIAM (ApproxDiameter) uses
 // CLUSTER directly, as in the paper's Section 5.
-func Cluster2(g *graph.Graph, opts Options) *Cluster2Result {
+//
+// Cancellation of ctx is observed at superstep barriers (including inside
+// the preliminary CLUSTER run); a cancelled run returns ctx's error.
+func Cluster2(ctx context.Context, g *graph.Graph, opts Options) (*Cluster2Result, error) {
 	o := opts.withDefaults(g)
-	e := o.Engine
+	e := o.Engine.Bind(ctx)
 	n := g.NumNodes()
 	if n == 0 {
-		return &Cluster2Result{Clustering: &Clustering{Metrics: e.Metrics().Snapshot()}}
+		return &Cluster2Result{Clustering: &Clustering{Metrics: e.Metrics().Snapshot()}}, nil
 	}
 	before := e.Metrics().Snapshot()
 
-	pre := Cluster(g, o)
+	// The preliminary run only calibrates R_CL; suppress its progress so
+	// observers see a single monotone coverage series for the main pass.
+	preOpts := o
+	preOpts.Progress = nil
+	pre, err := Cluster(ctx, g, preOpts)
+	if err != nil {
+		return nil, err
+	}
 	rcl := pre.Radius
 	if rcl <= 0 {
 		// Degenerate decomposition (e.g. every node a singleton): fall
@@ -67,6 +78,9 @@ func Cluster2(g *graph.Graph, opts Options) *Cluster2Result {
 		reached := newCenters
 		for {
 			changed, newly := st.growStep(threshold, stage)
+			if err := e.Err(); err != nil {
+				return nil, err
+			}
 			growingSteps++
 			reached += int(newly)
 			if !changed {
@@ -75,14 +89,20 @@ func Cluster2(g *graph.Graph, opts Options) *Cluster2Result {
 		}
 		covered := st.finishStage(stage)
 		uncovered -= covered
+		o.Progress.emit("cluster", stage+1, threshold, n-uncovered, n,
+			diff(before, e.Metrics().Snapshot()))
 	}
 	if uncovered > 0 {
 		// Unreachable leftovers (disconnected inputs): singletons.
 		st.coverSingletons(stage)
 		stage++
 	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
 
 	after := e.Metrics().Snapshot()
 	c := buildClustering(st, stage, threshold, growingSteps, diff(before, after))
-	return &Cluster2Result{Clustering: c, RCL: rcl}
+	o.Progress.emit("cluster", stage, threshold, n, n, c.Metrics)
+	return &Cluster2Result{Clustering: c, RCL: rcl}, nil
 }

@@ -18,7 +18,7 @@ func TestCluster2CoversAllNodes(t *testing.T) {
 		"path": gen.Path(80),
 	}
 	for name, g := range graphs {
-		res := Cluster2(g, Options{Tau: 4, Seed: 8})
+		res := mustCluster2(t, g, Options{Tau: 4, Seed: 8})
 		if err := res.Validate(g); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -32,8 +32,8 @@ func TestCluster2CoversAllNodes(t *testing.T) {
 func TestCluster2DeterministicAcrossWorkers(t *testing.T) {
 	r := rng.New(37)
 	g := gen.UniformWeights(gen.Mesh(12), r)
-	a := Cluster2(g, Options{Tau: 4, Seed: 10, Engine: bsp.New(1)})
-	b := Cluster2(g, Options{Tau: 4, Seed: 10, Engine: bsp.New(8)})
+	a := mustCluster2(t, g, Options{Tau: 4, Seed: 10, Engine: bsp.New(1)})
+	b := mustCluster2(t, g, Options{Tau: 4, Seed: 10, Engine: bsp.New(8)})
 	if a.NumClusters() != b.NumClusters() || a.Radius != b.Radius {
 		t.Fatalf("cluster2 depends on workers: %d/%v vs %d/%v",
 			a.NumClusters(), a.Radius, b.NumClusters(), b.Radius)
@@ -53,7 +53,7 @@ func TestCluster2GrowthIsRateLimited(t *testing.T) {
 	// early center, per-iteration coverage growth from that center is
 	// bounded by ~2·RCL per side per iteration (in weight).
 	g := gen.Path(200)
-	res := Cluster2(g, Options{Tau: 1, Seed: 3})
+	res := mustCluster2(t, g, Options{Tau: 1, Seed: 3})
 	if err := res.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestCluster2ClusterCountWithinBound(t *testing.T) {
 	r := rng.New(41)
 	g := gen.UniformWeights(gen.Mesh(16), r)
 	n := float64(g.NumNodes())
-	c2 := Cluster2(g, Options{Tau: 8, Seed: 5})
+	c2 := mustCluster2(t, g, Options{Tau: 8, Seed: 5})
 	l := math.Log2(n)
 	bound := 8 * 8 * l * l * l * l // generous constant on τ log⁴ n
 	if float64(c2.NumClusters()) > bound {
@@ -88,7 +88,7 @@ func TestCluster2ClusterCountWithinBound(t *testing.T) {
 }
 
 func TestCluster2EmptyGraph(t *testing.T) {
-	res := Cluster2(graph.NewBuilder(0, 0).Build(), Options{Tau: 1})
+	res := mustCluster2(t, graph.NewBuilder(0, 0).Build(), Options{Tau: 1})
 	if res.NumClusters() != 0 {
 		t.Fatal("empty graph should produce no clusters")
 	}
@@ -103,7 +103,7 @@ func TestCluster2Disconnected(t *testing.T) {
 		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
 	}
 	g := b.Build()
-	res := Cluster2(g, Options{Tau: 2, Seed: 12})
+	res := mustCluster2(t, g, Options{Tau: 2, Seed: 12})
 	if err := res.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestCluster2Disconnected(t *testing.T) {
 func TestCluster2RadiusBoundedByIterationsTimesThreshold(t *testing.T) {
 	r := rng.New(43)
 	g := gen.UniformWeights(gen.GNM(120, 360, r), r)
-	res := Cluster2(g, Options{Tau: 4, Seed: 9})
+	res := mustCluster2(t, g, Options{Tau: 4, Seed: 9})
 	n := g.NumNodes()
 	// Radius ≤ iterations · 2·RCL: each iteration adds at most the growth
 	// threshold to any realized center path.

@@ -41,7 +41,7 @@ func TestClusterCoversAllNodes(t *testing.T) {
 		"cycle": gen.Cycle(64),
 	}
 	for name, g := range graphs {
-		cl := Cluster(g, Options{Tau: 8, Seed: 42})
+		cl := mustCluster(t, g, Options{Tau: 8, Seed: 42})
 		if err := cl.Validate(g); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -57,7 +57,7 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 	g := gen.UniformWeights(gen.Mesh(16), r)
 	var ref *Clustering
 	for _, workers := range []int{1, 2, 4, 8} {
-		cl := Cluster(g, Options{Tau: 10, Seed: 5, Engine: bsp.New(workers)})
+		cl := mustCluster(t, g, Options{Tau: 10, Seed: 5, Engine: bsp.New(workers)})
 		if ref == nil {
 			ref = cl
 			continue
@@ -78,14 +78,14 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 func TestClusterDeterministicAcrossRuns(t *testing.T) {
 	r := rng.New(8)
 	g := gen.UniformWeights(gen.GNM(150, 400, r), r)
-	a := Cluster(g, Options{Tau: 6, Seed: 99})
-	b := Cluster(g, Options{Tau: 6, Seed: 99})
+	a := mustCluster(t, g, Options{Tau: 6, Seed: 99})
+	b := mustCluster(t, g, Options{Tau: 6, Seed: 99})
 	for u := range a.Center {
 		if a.Center[u] != b.Center[u] {
 			t.Fatalf("same seed diverged at node %d", u)
 		}
 	}
-	c := Cluster(g, Options{Tau: 6, Seed: 100})
+	c := mustCluster(t, g, Options{Tau: 6, Seed: 100})
 	same := true
 	for u := range a.Center {
 		if a.Center[u] != c.Center[u] {
@@ -101,7 +101,7 @@ func TestClusterDeterministicAcrossRuns(t *testing.T) {
 func TestClusterSingletonRegime(t *testing.T) {
 	// τ ≥ n stops immediately: every node becomes a singleton cluster.
 	g := gen.Path(10)
-	cl := Cluster(g, Options{Tau: 100, Seed: 1})
+	cl := mustCluster(t, g, Options{Tau: 100, Seed: 1})
 	if cl.NumClusters() != 10 {
 		t.Fatalf("clusters = %d, want 10 singletons", cl.NumClusters())
 	}
@@ -116,8 +116,8 @@ func TestClusterSingletonRegime(t *testing.T) {
 func TestClusterRadiusShrinksWithMoreClusters(t *testing.T) {
 	r := rng.New(11)
 	g := gen.UniformWeights(gen.Mesh(20), r)
-	coarse := Cluster(g, Options{Tau: 2, Seed: 3})
-	fine := Cluster(g, Options{Tau: 64, Seed: 3})
+	coarse := mustCluster(t, g, Options{Tau: 2, Seed: 3})
+	fine := mustCluster(t, g, Options{Tau: 64, Seed: 3})
 	if fine.NumClusters() <= coarse.NumClusters() {
 		t.Fatalf("cluster counts not ordered: fine %d <= coarse %d",
 			fine.NumClusters(), coarse.NumClusters())
@@ -128,11 +128,11 @@ func TestClusterRadiusShrinksWithMoreClusters(t *testing.T) {
 }
 
 func TestClusterEmptyAndTinyGraphs(t *testing.T) {
-	empty := Cluster(graph.NewBuilder(0, 0).Build(), Options{Tau: 1})
+	empty := mustCluster(t, graph.NewBuilder(0, 0).Build(), Options{Tau: 1})
 	if empty.NumClusters() != 0 {
 		t.Fatal("empty graph should have no clusters")
 	}
-	single := Cluster(graph.NewBuilder(1, 0).Build(), Options{Tau: 1, Seed: 2})
+	single := mustCluster(t, graph.NewBuilder(1, 0).Build(), Options{Tau: 1, Seed: 2})
 	if single.NumClusters() != 1 || single.Center[0] != 0 {
 		t.Fatalf("singleton graph: %+v", single)
 	}
@@ -148,7 +148,7 @@ func TestClusterDisconnectedGraph(t *testing.T) {
 	b.AddEdge(5, 6, 1)
 	b.AddEdge(6, 7, 1)
 	g := b.Build()
-	cl := Cluster(g, Options{Tau: 1, Seed: 4})
+	cl := mustCluster(t, g, Options{Tau: 1, Seed: 4})
 	if err := cl.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestClusterTheoryModeBounds(t *testing.T) {
 	g := gen.UniformWeights(gen.Mesh(40), r)
 	n := g.NumNodes()
 	tau := 2
-	cl := Cluster(g, Options{Tau: tau, Seed: 6, UseLogFactor: true})
+	cl := mustCluster(t, g, Options{Tau: tau, Seed: 6, UseLogFactor: true})
 	if err := cl.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -189,8 +189,8 @@ func TestClusterStepCapReducesRounds(t *testing.T) {
 	// approximation cost. The capped run must use no more growing steps
 	// per stage and still produce a valid clustering.
 	g := gen.Path(400) // worst case for ℓ: long unit path
-	uncapped := Cluster(g, Options{Tau: 2, Seed: 9})
-	capped := Cluster(g, Options{Tau: 2, Seed: 9, StepCap: 5})
+	uncapped := mustCluster(t, g, Options{Tau: 2, Seed: 9})
+	capped := mustCluster(t, g, Options{Tau: 2, Seed: 9, StepCap: 5})
 	if err := capped.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestClusterMetricsAccounted(t *testing.T) {
 	r := rng.New(17)
 	g := gen.UniformWeights(gen.Mesh(10), r)
 	e := bsp.New(4)
-	cl := Cluster(g, Options{Tau: 8, Seed: 2, Engine: e})
+	cl := mustCluster(t, g, Options{Tau: 8, Seed: 2, Engine: e})
 	if cl.Metrics.Rounds < int64(cl.Stages) {
 		t.Fatalf("rounds %d below stage count %d", cl.Metrics.Rounds, cl.Stages)
 	}
@@ -219,7 +219,7 @@ func TestClusterMetricsAccounted(t *testing.T) {
 func TestClusterIndexDense(t *testing.T) {
 	r := rng.New(19)
 	g := gen.UniformWeights(gen.GNM(80, 200, r), r)
-	cl := Cluster(g, Options{Tau: 4, Seed: 3})
+	cl := mustCluster(t, g, Options{Tau: 4, Seed: 3})
 	idx := cl.ClusterIndex()
 	k := cl.NumClusters()
 	seen := make([]bool, k)
@@ -260,7 +260,7 @@ func TestInitialDeltaModes(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	g := gen.Path(6)
-	cl := Cluster(g, Options{Tau: 2, Seed: 1})
+	cl := mustCluster(t, g, Options{Tau: 2, Seed: 1})
 	if err := cl.Validate(g); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"graphdiam/internal/bsp"
@@ -52,36 +54,57 @@ type DiamResult struct {
 // Φapprox(G) ≥ Φ(G) — and, per the paper's experiments and the ones in
 // EXPERIMENTS.md, within a factor ~1.4 of the true diameter in practice,
 // far below the O(log³ n) worst-case guarantee.
-func ApproxDiameter(g *graph.Graph, opts DiamOptions) DiamResult {
+//
+// Cancellation of ctx is observed at superstep barriers throughout the
+// decomposition and between the quotient phases; a cancelled run returns
+// ctx's error. Progress snapshots carry Phase "cluster" during the
+// decomposition and "quotient"/"done" afterwards.
+func ApproxDiameter(ctx context.Context, g *graph.Graph, opts DiamOptions) (DiamResult, error) {
 	o := opts
 	o.Options = o.Options.withDefaults(g)
-	e := o.Engine
+	e := o.Engine.Bind(ctx)
 	start := time.Now()
 	before := e.Metrics().Snapshot()
 
 	var cl *Clustering
+	var err error
 	switch {
 	case o.UseCluster2 && o.WeightOblivious:
-		panic("core: UseCluster2 and WeightOblivious are mutually exclusive")
+		return DiamResult{}, fmt.Errorf("core: UseCluster2 and WeightOblivious are mutually exclusive")
 	case o.UseCluster2:
-		cl = Cluster2(g, o.Options).Clustering
+		var c2 *Cluster2Result
+		if c2, err = Cluster2(ctx, g, o.Options); err == nil {
+			cl = c2.Clustering
+		}
 	case o.WeightOblivious:
-		cl = ClusterUnweighted(g, o.Options)
+		cl, err = ClusterUnweighted(ctx, g, o.Options)
 	default:
-		cl = Cluster(g, o.Options)
+		cl, err = Cluster(ctx, g, o.Options)
+	}
+	if err != nil {
+		return DiamResult{}, err
 	}
 
 	res := DiamResult{Clustering: cl, Radius: cl.Radius}
-	if g.NumNodes() == 0 {
+	n := g.NumNodes()
+	if n == 0 {
 		res.Metrics = diff(before, e.Metrics().Snapshot())
 		res.WallTime = time.Since(start)
-		return res
+		return res, nil
 	}
 
+	o.Progress.emit("quotient", cl.Stages, cl.DeltaEnd, n, n,
+		diff(before, e.Metrics().Snapshot()))
 	q, _ := quotient.Build(g, cl.Center, cl.Dist, e)
+	if err := e.Err(); err != nil {
+		return DiamResult{}, err
+	}
 	res.QuotientNodes = q.NumNodes()
 	res.QuotientEdges = q.NumEdges()
 	res.QuotientDiameter = quotient.Diameter(q, e, o.Quotient)
+	if err := e.Err(); err != nil {
+		return DiamResult{}, err
+	}
 	// The quotient diameter is computed inside one reducer's local memory
 	// in O(1) rounds (paper, Section 4.1); charge one round for it.
 	e.Metrics().AddRounds(1)
@@ -89,7 +112,8 @@ func ApproxDiameter(g *graph.Graph, opts DiamOptions) DiamResult {
 	res.Estimate = res.QuotientDiameter + 2*cl.Radius
 	res.Metrics = diff(before, e.Metrics().Snapshot())
 	res.WallTime = time.Since(start)
-	return res
+	o.Progress.emit("done", cl.Stages, cl.DeltaEnd, n, n, res.Metrics)
+	return res, nil
 }
 
 // TauForQuotientTarget returns a τ that keeps the expected quotient size

@@ -25,7 +25,7 @@ func TestApproxDiameterConservative(t *testing.T) {
 	}
 	for name, g := range graphs {
 		exact := validate.ExactDiameter(g, bsp.New(4))
-		res := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 8, Seed: 11}})
+		res := mustDiam(t, g, DiamOptions{Options: Options{Tau: 8, Seed: 11}})
 		if res.Estimate+1e-9 < exact {
 			t.Fatalf("%s: estimate %v below exact %v", name, res.Estimate, exact)
 		}
@@ -42,7 +42,7 @@ func TestApproxDiameterRatioReasonable(t *testing.T) {
 	}
 	for name, g := range cases {
 		exact := validate.ExactDiameter(g, bsp.New(4))
-		res := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 32, Seed: 7}})
+		res := mustDiam(t, g, DiamOptions{Options: Options{Tau: 32, Seed: 7}})
 		ratio := res.Estimate / exact
 		if ratio > 2.0 {
 			t.Fatalf("%s: ratio %.3f (estimate %v, exact %v)", name, ratio, res.Estimate, exact)
@@ -59,7 +59,7 @@ func TestApproxDiameterSingletonClusteringIsExact(t *testing.T) {
 	r := rng.New(4)
 	g := gen.UniformWeights(gen.Mesh(8), r)
 	exact := validate.ExactDiameter(g, bsp.New(2))
-	res := ApproxDiameter(g, DiamOptions{Options: Options{Tau: g.NumNodes() + 1, Seed: 1}})
+	res := mustDiam(t, g, DiamOptions{Options: Options{Tau: g.NumNodes() + 1, Seed: 1}})
 	if res.Radius != 0 {
 		t.Fatalf("radius = %v, want 0", res.Radius)
 	}
@@ -79,7 +79,7 @@ func diffAbs(a, b float64) float64 {
 }
 
 func TestApproxDiameterEmptyGraph(t *testing.T) {
-	res := ApproxDiameter(graph.NewBuilder(0, 0).Build(), DiamOptions{})
+	res := mustDiam(t, graph.NewBuilder(0, 0).Build(), DiamOptions{})
 	if res.Estimate != 0 {
 		t.Fatalf("empty estimate = %v", res.Estimate)
 	}
@@ -96,7 +96,7 @@ func TestApproxDiameterDisconnected(t *testing.T) {
 	}
 	g := b.Build()
 	exact := validate.ExactDiameter(g, bsp.New(2)) // 4*3 = 12
-	res := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 2, Seed: 5}})
+	res := mustDiam(t, g, DiamOptions{Options: Options{Tau: 2, Seed: 5}})
 	if res.Estimate+1e-9 < exact {
 		t.Fatalf("disconnected estimate %v below exact %v", res.Estimate, exact)
 	}
@@ -107,7 +107,7 @@ func TestApproxDiameterFewerRoundsThanDeltaStepping(t *testing.T) {
 	// fewer rounds than a Δ-stepping SSSP on high-diameter graphs.
 	r := rng.New(6)
 	g := gen.RoadNetwork(gen.DefaultRoadNetworkOptions(28), r)
-	res := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 32, Seed: 3}})
+	res := mustDiam(t, g, DiamOptions{Options: Options{Tau: 32, Seed: 3}})
 	ds := sssp.DeltaSteppingSeq(g, 0, sssp.SuggestDelta(g))
 	if res.Metrics.Rounds >= ds.Rounds {
 		t.Fatalf("CL-DIAM rounds %d not below Δ-stepping rounds %d",
@@ -119,7 +119,7 @@ func TestApproxDiameterCluster2Variant(t *testing.T) {
 	r := rng.New(7)
 	g := gen.UniformWeights(gen.Mesh(12), r)
 	exact := validate.ExactDiameter(g, bsp.New(4))
-	res := ApproxDiameter(g, DiamOptions{
+	res := mustDiam(t, g, DiamOptions{
 		Options:     Options{Tau: 8, Seed: 13},
 		UseCluster2: true,
 	})
@@ -134,8 +134,8 @@ func TestApproxDiameterCluster2Variant(t *testing.T) {
 func TestApproxDiameterDeterministic(t *testing.T) {
 	r := rng.New(8)
 	g := gen.UniformWeights(gen.GNM(150, 450, r), r)
-	a := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 8, Seed: 21}})
-	b := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 8, Seed: 21, Engine: bsp.New(7)}})
+	a := mustDiam(t, g, DiamOptions{Options: Options{Tau: 8, Seed: 21}})
+	b := mustDiam(t, g, DiamOptions{Options: Options{Tau: 8, Seed: 21, Engine: bsp.New(7)}})
 	if a.Estimate != b.Estimate || a.QuotientNodes != b.QuotientNodes {
 		t.Fatalf("estimate depends on workers: %v/%d vs %v/%d",
 			a.Estimate, a.QuotientNodes, b.Estimate, b.QuotientNodes)
@@ -149,7 +149,7 @@ func TestApproxDiameterConservativeProperty(t *testing.T) {
 		g := gen.UniformWeights(gen.GNM(80, 240, r), r)
 		tau := int(tauRaw)%16 + 1
 		exact := validate.ExactDiameter(g, bsp.New(2))
-		res := ApproxDiameter(g, DiamOptions{Options: Options{Tau: tau, Seed: seed}})
+		res := mustDiam(t, g, DiamOptions{Options: Options{Tau: tau, Seed: seed}})
 		return res.Estimate+1e-9 >= exact
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
@@ -183,11 +183,11 @@ func TestDeltaSensitivityMeshExperiment(t *testing.T) {
 	g := gen.BimodalWeights(gen.Mesh(48), 1e-6, 1, 0.3, r)
 	exact := validate.ExactDiameter(g, bsp.New(8))
 
-	tuned := ApproxDiameter(g, DiamOptions{Options: Options{
+	tuned := mustDiam(t, g, DiamOptions{Options: Options{
 		Tau: 64, Seed: 1, InitialDelta: DeltaMinWeight}})
-	avg := ApproxDiameter(g, DiamOptions{Options: Options{
+	avg := mustDiam(t, g, DiamOptions{Options: Options{
 		Tau: 64, Seed: 1, InitialDelta: DeltaAvgWeight}})
-	huge := ApproxDiameter(g, DiamOptions{Options: Options{
+	huge := mustDiam(t, g, DiamOptions{Options: Options{
 		Tau: 64, Seed: 1, InitialDelta: DeltaFixed, FixedDelta: exact}})
 
 	rTuned := tuned.Estimate / exact

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"graphdiam/internal/graph"
+)
+
+// Test-side adapters over the cancellable API: every decomposition in this
+// package's tests runs under context.Background, where the only possible
+// error — a context error — cannot occur, so the helpers fold the error
+// return into the test failure path.
+
+func mustCluster(t testing.TB, g *graph.Graph, o Options) *Clustering {
+	t.Helper()
+	cl, err := Cluster(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	return cl
+}
+
+func mustCluster2(t testing.TB, g *graph.Graph, o Options) *Cluster2Result {
+	t.Helper()
+	res, err := Cluster2(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("Cluster2: %v", err)
+	}
+	return res
+}
+
+func mustUnweighted(t testing.TB, g *graph.Graph, o Options) *Clustering {
+	t.Helper()
+	cl, err := ClusterUnweighted(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("ClusterUnweighted: %v", err)
+	}
+	return cl
+}
+
+func mustDiam(t testing.TB, g *graph.Graph, o DiamOptions) DiamResult {
+	t.Helper()
+	res, err := ApproxDiameter(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("ApproxDiameter: %v", err)
+	}
+	return res
+}

@@ -82,8 +82,15 @@ type Options struct {
 	// (graph, Options) including across worker counts.
 	Seed uint64
 
-	// Engine supplies parallelism and metrics; nil creates a default.
+	// Engine supplies parallelism and metrics; nil creates a default. The
+	// run's context is bound to the engine, so callers sharing an engine
+	// across runs must not run them concurrently.
 	Engine *bsp.Engine
+
+	// Progress, when non-nil, receives snapshots at stage boundaries —
+	// never inside the Δ-growing hot loop. It does not affect the computed
+	// result and is not part of any cache identity.
+	Progress ProgressFunc
 }
 
 // withDefaults fills zero fields with the practical defaults.

@@ -1,0 +1,53 @@
+package core
+
+import "graphdiam/internal/bsp"
+
+// Progress is a point-in-time snapshot of a running decomposition or
+// diameter approximation, delivered to Options.Progress. Snapshots are
+// emitted at stage boundaries (superstep barriers), so Coverage within one
+// Phase is non-decreasing across successive snapshots.
+type Progress struct {
+	// Phase names the pipeline step being reported: "cluster" while the
+	// decomposition grows, "quotient" while the quotient graph and its
+	// diameter are computed (ApproxDiameter only), "done" for the final
+	// snapshot of a completed run.
+	Phase string `json:"phase"`
+	// Stage is the number of completed decomposition stages (outer
+	// iterations of Algorithm 1/2).
+	Stage int `json:"stage"`
+	// Delta is the current growth threshold Δ.
+	Delta float64 `json:"delta"`
+	// Covered and Total count nodes assigned to clusters versus all nodes;
+	// Coverage is their ratio in [0, 1].
+	Covered  int     `json:"covered"`
+	Total    int     `json:"total"`
+	Coverage float64 `json:"coverage"`
+	// Metrics is the BSP cost accumulated by this run so far.
+	Metrics bsp.Snapshot `json:"metrics"`
+}
+
+// ProgressFunc receives Progress snapshots. It is called synchronously from
+// the algorithm's coordinating goroutine between supersteps, so it must be
+// fast and must not block; hand off to a channel or goroutine for slow
+// consumers. A nil ProgressFunc disables reporting at zero cost.
+type ProgressFunc func(Progress)
+
+// emit reports a snapshot if fn is non-nil, deriving Coverage from the
+// counts.
+func (fn ProgressFunc) emit(phase string, stage int, delta float64, covered, total int, m bsp.Snapshot) {
+	if fn == nil {
+		return
+	}
+	p := Progress{
+		Phase:   phase,
+		Stage:   stage,
+		Delta:   delta,
+		Covered: covered,
+		Total:   total,
+		Metrics: m,
+	}
+	if total > 0 {
+		p.Coverage = float64(covered) / float64(total)
+	}
+	fn(p)
+}

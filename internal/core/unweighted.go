@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"graphdiam/internal/graph"
@@ -21,12 +22,12 @@ import (
 // the weight-obliviousness ablation of the experiments harness shows its
 // radius (and hence the diameter estimate) degrade on weighted road
 // networks where CLUSTER stays tight.
-func ClusterUnweighted(g *graph.Graph, opts Options) *Clustering {
+func ClusterUnweighted(ctx context.Context, g *graph.Graph, opts Options) (*Clustering, error) {
 	o := opts.withDefaults(g)
-	e := o.Engine
+	e := o.Engine.Bind(ctx)
 	n := g.NumNodes()
 	if n == 0 {
-		return &Clustering{Metrics: e.Metrics().Snapshot()}
+		return &Clustering{Metrics: e.Metrics().Snapshot()}, nil
 	}
 	before := e.Metrics().Snapshot()
 
@@ -64,6 +65,9 @@ func ClusterUnweighted(g *graph.Graph, opts Options) *Clustering {
 		steps := 0
 		for {
 			changed, newly := st.growStep(hopLimit, stage)
+			if err := e.Err(); err != nil {
+				return nil, err
+			}
 			growingSteps++
 			steps++
 			reached += int(newly)
@@ -80,14 +84,23 @@ func ClusterUnweighted(g *graph.Graph, opts Options) *Clustering {
 		covered := st.finishStage(stage)
 		uncovered -= covered
 		stage++
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
+		o.Progress.emit("cluster", stage, hopLimit, n-uncovered, n,
+			diff(before, e.Metrics().Snapshot()))
 	}
 	if uncovered > 0 {
 		st.coverSingletons(stage)
 		stage++
 	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
 
 	after := e.Metrics().Snapshot()
 	c := buildClustering(st, stage, math.Inf(1), growingSteps, diff(before, after))
 	c.MaxPartialGrowthSteps = maxPGSteps
-	return c
+	o.Progress.emit("cluster", stage, hopLimit, n, n, c.Metrics)
+	return c, nil
 }

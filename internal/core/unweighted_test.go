@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"graphdiam/internal/bsp"
@@ -18,7 +19,7 @@ func TestClusterUnweightedCoversAll(t *testing.T) {
 		"road": gen.RoadNetwork(gen.DefaultRoadNetworkOptions(12), r),
 	}
 	for name, g := range graphs {
-		cl := ClusterUnweighted(g, Options{Tau: 8, Seed: 9})
+		cl := mustUnweighted(t, g, Options{Tau: 8, Seed: 9})
 		if err := cl.Validate(g); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -29,8 +30,8 @@ func TestClusterUnweightedCoversAll(t *testing.T) {
 func TestClusterUnweightedDeterministic(t *testing.T) {
 	r := rng.New(52)
 	g := gen.UniformWeights(gen.Mesh(12), r)
-	a := ClusterUnweighted(g, Options{Tau: 6, Seed: 4, Engine: bsp.New(1)})
-	b := ClusterUnweighted(g, Options{Tau: 6, Seed: 4, Engine: bsp.New(8)})
+	a := mustUnweighted(t, g, Options{Tau: 6, Seed: 4, Engine: bsp.New(1)})
+	b := mustUnweighted(t, g, Options{Tau: 6, Seed: 4, Engine: bsp.New(8)})
 	for u := range a.Center {
 		if a.Center[u] != b.Center[u] || a.Dist[u] != b.Dist[u] {
 			t.Fatalf("node %d differs across worker counts", u)
@@ -50,8 +51,8 @@ func TestClusterUnweightedIgnoresWeightsForGrowth(t *testing.T) {
 	}
 	weights[20] = 1e6
 	g := gen.WeightedPath(weights)
-	unw := ClusterUnweighted(g, Options{Tau: 2, Seed: 1})
-	w := Cluster(g, Options{Tau: 2, Seed: 1})
+	unw := mustUnweighted(t, g, Options{Tau: 2, Seed: 1})
+	w := mustCluster(t, g, Options{Tau: 2, Seed: 1})
 	if err := unw.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +74,8 @@ func TestWeightObliviousAblationOnRoads(t *testing.T) {
 	g := gen.ExponentialWeights(gen.RoadNetwork(gen.DefaultRoadNetworkOptions(24), r), 1, r)
 	exact := validate.ExactDiameter(g, bsp.New(4))
 
-	weighted := ApproxDiameter(g, DiamOptions{Options: Options{Tau: 16, Seed: 2}})
-	oblivious := ApproxDiameter(g, DiamOptions{
+	weighted := mustDiam(t, g, DiamOptions{Options: Options{Tau: 16, Seed: 2}})
+	oblivious := mustDiam(t, g, DiamOptions{
 		Options:         Options{Tau: 16, Seed: 2},
 		WeightOblivious: true,
 	})
@@ -88,10 +89,9 @@ func TestWeightObliviousAblationOnRoads(t *testing.T) {
 }
 
 func TestWeightObliviousMutuallyExclusive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for UseCluster2 + WeightOblivious")
-		}
-	}()
-	ApproxDiameter(gen.Path(4), DiamOptions{UseCluster2: true, WeightOblivious: true})
+	_, err := ApproxDiameter(context.Background(), gen.Path(4),
+		DiamOptions{UseCluster2: true, WeightOblivious: true})
+	if err == nil {
+		t.Fatal("expected an error for UseCluster2 + WeightOblivious")
+	}
 }

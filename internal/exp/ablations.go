@@ -44,10 +44,10 @@ func WeightOblivious(scale Scale, seed uint64) []ObliviousRow {
 	for _, ng := range graphs {
 		lb, _ := validate.LowerBound(ng.G, 0, 4)
 		tau := core.TauForQuotientTarget(ng.G.NumNodes(), 2000)
-		w := core.ApproxDiameter(ng.G, core.DiamOptions{
+		w := mustDiam(ng.G, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
 		})
-		o := core.ApproxDiameter(ng.G, core.DiamOptions{
+		o := mustDiam(ng.G, core.DiamOptions{
 			Options:         core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
 			WeightOblivious: true,
 		})
@@ -100,7 +100,7 @@ func Corollary1(scale Scale, seed uint64) []Corollary1Point {
 	taus := []int{2, 8, 32, 128, 512}
 	var points []Corollary1Point
 	for _, tau := range taus {
-		res := core.ApproxDiameter(g, core.DiamOptions{
+		res := mustDiam(g, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
 		})
 		points = append(points, Corollary1Point{tau, res.Metrics.Rounds, res.Estimate / lb})

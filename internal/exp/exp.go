@@ -16,6 +16,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -29,6 +30,17 @@ import (
 	"graphdiam/internal/sssp"
 	"graphdiam/internal/validate"
 )
+
+// mustDiam runs ApproxDiameter under a background context. The harness
+// drives finite benchmark instances to completion, so the only error the
+// cancellable API can return — a context error — is impossible here.
+func mustDiam(g *graph.Graph, o core.DiamOptions) core.DiamResult {
+	res, err := core.ApproxDiameter(context.Background(), g, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // Scale selects the size of the benchmark instances.
 type Scale int
@@ -142,7 +154,7 @@ func Compare(ng NamedGraph, opts CompareOptions) Row {
 	// CL-DIAM.
 	eCL := bsp.New(o.Workers)
 	tau := core.TauForQuotientTarget(g.NumNodes(), o.QuotientTarget)
-	res := core.ApproxDiameter(g, core.DiamOptions{
+	res := mustDiam(g, core.DiamOptions{
 		Options: core.Options{Tau: tau, Seed: o.Seed, Engine: eCL},
 	})
 	row.ApproxCL = res.Estimate
@@ -162,7 +174,10 @@ func Compare(ng NamedGraph, opts CompareOptions) Row {
 	delta := sssp.TuneDelta(g, src, cands)
 	eDS := bsp.New(o.Workers)
 	start := time.Now()
-	ub, ds := sssp.DiameterUpperBound(g, src, delta, eDS)
+	ub, ds, err := sssp.DiameterUpperBound(context.Background(), g, src, delta, eDS)
+	if err != nil {
+		panic(err) // impossible: background context
+	}
 	row.TimeDS = time.Since(start)
 	row.ApproxDS = ub
 	row.RoundsDS = ds.Rounds

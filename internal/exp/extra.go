@@ -41,7 +41,7 @@ func Table3(scale Scale, workers int, seed uint64) []Table3Row {
 	for _, ng := range graphs {
 		e := bsp.New(workers)
 		tau := core.TauForQuotientTarget(ng.G.NumNodes(), 4000)
-		res := core.ApproxDiameter(ng.G, core.DiamOptions{
+		res := mustDiam(ng.G, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: seed, Engine: e},
 		})
 		rows = append(rows, Table3Row{ng.Name, ng.PaperName, ng.G.NumNodes(), ng.G.NumEdges(),
@@ -98,7 +98,7 @@ func Fig4(scale Scale, workerCounts []int, seed uint64) []Fig4Point {
 			// pay. This keeps Figure 4 meaningful on hosts with fewer
 			// physical cores than simulated machines (see EXPERIMENTS.md).
 			e := bsp.NewSimulated(p)
-			res := core.ApproxDiameter(ng.G, core.DiamOptions{
+			res := mustDiam(ng.G, core.DiamOptions{
 				Options: core.Options{Tau: tau, Seed: seed, Engine: e},
 			})
 			simTime := e.CriticalPath()
@@ -146,7 +146,7 @@ func DeltaSens(scale Scale, seed uint64) []DeltaSensRow {
 	exact := validate.ExactDiameter(g, bsp.New(0))
 	tau := core.TauForQuotientTarget(g.NumNodes(), 2000)
 	run := func(name string, init core.DeltaInit, fixed float64) DeltaSensRow {
-		res := core.ApproxDiameter(g, core.DiamOptions{
+		res := mustDiam(g, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: seed, InitialDelta: init, FixedDelta: fixed},
 		})
 		return DeltaSensRow{name, res.Estimate / exact, res.Estimate, res.Metrics.Rounds}
@@ -191,7 +191,7 @@ func StepCap(scale Scale, seed uint64) []StepCapRow {
 	// Small τ makes clusters deep (large ℓ_R) so the cap has bite.
 	tau := 8
 	run := func(name string, cap int) StepCapRow {
-		res := core.ApproxDiameter(g, core.DiamOptions{
+		res := mustDiam(g, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: seed, StepCap: cap},
 		})
 		return StepCapRow{name, res.Estimate / lb, res.Metrics.Rounds,

@@ -1,6 +1,7 @@
 package mrcluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -11,6 +12,17 @@ import (
 	"graphdiam/internal/rng"
 	"graphdiam/internal/sssp"
 )
+
+// mustCoreCluster adapts the cancellable BSP API for comparison tests; a
+// background context cannot produce an error.
+func mustCoreCluster(t testing.TB, g *graph.Graph, o core.Options) *core.Clustering {
+	t.Helper()
+	cl, err := core.Cluster(context.Background(), g, o)
+	if err != nil {
+		t.Fatalf("core.Cluster: %v", err)
+	}
+	return cl
+}
 
 func TestMatchesBSPImplementation(t *testing.T) {
 	// The heart of this package: the MR-model implementation and the BSP
@@ -25,7 +37,7 @@ func TestMatchesBSPImplementation(t *testing.T) {
 	}
 	for name, g := range graphs {
 		for _, tau := range []int{2, 8, 32} {
-			bspCl := core.Cluster(g, core.Options{Tau: tau, Seed: 5})
+			bspCl := mustCoreCluster(t, g, core.Options{Tau: tau, Seed: 5})
 			mrCl := Cluster(g, Options{Tau: tau, Seed: 5, Workers: 2})
 			if bspCl.Radius != mrCl.Radius {
 				t.Fatalf("%s τ=%d: radius %v vs %v", name, tau, bspCl.Radius, mrCl.Radius)
@@ -52,7 +64,7 @@ func TestMatchesBSPProperty(t *testing.T) {
 		r := rng.New(seed)
 		g := gen.UniformWeights(gen.GNM(60, 180, r), r)
 		tau := int(tauRaw)%12 + 1
-		a := core.Cluster(g, core.Options{Tau: tau, Seed: seed})
+		a := mustCoreCluster(t, g, core.Options{Tau: tau, Seed: seed})
 		b := Cluster(g, Options{Tau: tau, Seed: seed})
 		for u := range b.Center {
 			if a.Center[u] != b.Center[u] || a.Dist[u] != b.Dist[u] {

@@ -12,8 +12,24 @@
 //	DELETE /v1/graphs/{name}   deregister a graph and drop its results
 //	POST   /v1/decompose       run/fetch a CLUSTER(2) decomposition
 //	POST   /v1/diameter        run/fetch a CL-DIAM diameter approximation
-//	GET    /v1/stats           store counters, cache state, BSP cost totals
+//	GET    /v1/stats           store counters, cache state, job counts,
+//	                           BSP cost totals
 //	GET    /healthz            liveness probe
+//
+//	POST   /v2/jobs            submit an asynchronous computation
+//	                           ({"op":"decompose"|"diameter","graph",...params})
+//	GET    /v2/jobs            list retained jobs
+//	GET    /v2/jobs/{id}       poll one job
+//	GET    /v2/jobs/{id}/events  Server-Sent Events progress stream
+//	DELETE /v2/jobs/{id}       cancel a job
+//
+// A v2 job moves through queued → running → done|failed|cancelled; its
+// snapshots carry the latest progress (phase, stage, Δ, coverage fraction,
+// BSP cost) and, once done, the result. Cancellation is cooperative: the
+// BSP engine observes it at the next superstep barrier, so an abort lands
+// within one superstep. The v1 compute endpoints are thin synchronous
+// wrappers over the same job path — submit, wait, unwrap — so both APIs
+// share the store's LRU cache and singleflight deduplication.
 //
 // Compute responses carry a "cached" flag: true when the result came from
 // the store's LRU cache or by joining a concurrent identical request
@@ -70,6 +86,11 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
 	s.mux.HandleFunc("POST /v1/diameter", s.handleDiameter)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v2/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -211,12 +232,14 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	res, cached, err := s.st.Decompose(r.Context(), req.Graph, req.Params)
-	if err != nil {
-		writeComputeError(w, err)
+	final, ok := s.runSyncJob(w, r, store.JobDecompose, req)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, DecomposeResponse{DecomposeResult: res, Cached: cached})
+	writeJSON(w, http.StatusOK, DecomposeResponse{
+		DecomposeResult: final.Result.(store.DecomposeResult),
+		Cached:          final.Cached,
+	})
 }
 
 func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
@@ -224,12 +247,127 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	res, cached, err := s.st.Diameter(r.Context(), req.Graph, req.Params)
+	final, ok := s.runSyncJob(w, r, store.JobDiameter, req)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, DiameterResponse{
+		DiameterResult: final.Result.(store.DiameterResult),
+		Cached:         final.Cached,
+	})
+}
+
+// runSyncJob is the v1 compatibility path: submit a job, wait for it, and
+// unwrap its outcome to the v1 error mapping. RunJobSync preserves the
+// typed error (NotFoundError → 404, context errors → 408, the rest →
+// 400, exactly as the pre-job direct path mapped them) and a client
+// disconnect while waiting cancels the job. Returns ok=false after
+// writing an error response.
+func (s *Server) runSyncJob(w http.ResponseWriter, r *http.Request, kind store.JobKind, req ComputeRequest) (store.JobView, bool) {
+	final, err := s.st.RunJobSync(r.Context(), kind, req.Graph, req.Params)
+	if err != nil {
+		writeComputeError(w, err)
+		return store.JobView{}, false
+	}
+	return final, true
+}
+
+// JobRequest is the POST /v2/jobs body: the operation, the target graph,
+// and the full algorithm parameter set.
+type JobRequest struct {
+	// Op selects the computation: "decompose" or "diameter".
+	Op    string `json:"op"`
+	Graph string `json:"graph"`
+	store.Params
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	view, err := s.st.SubmitJob(store.JobKind(req.Op), req.Graph, req.Params)
 	if err != nil {
 		writeComputeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DiameterResponse{DiameterResult: res, Cached: cached})
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.st.Jobs()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.st.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q is not registered", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.st.CancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q is not registered", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobEvents streams a job's lifecycle over Server-Sent Events:
+// "state" events for queued/running/terminal transitions, "progress"
+// events for per-stage snapshots, and a final "done" event carrying the
+// terminal JobView before the stream closes. Intermediate events are
+// delivered best-effort; the "done" event is always emitted (slow
+// consumers may only see the initial snapshot and "done").
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snapshot, events, cancelSub, ok := s.st.SubscribeJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q is not registered", id))
+		return
+	}
+	defer cancelSub()
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Initial snapshot, taken atomically with the subscription, so the
+	// consumer needs no separate poll and every later event is newer.
+	writeSSE(w, "state", snapshot)
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				if final, ok := s.st.Job(id); ok {
+					writeSSE(w, "done", final)
+					fl.Flush()
+				}
+				return
+			}
+			writeSSE(w, ev.Type, ev.Job)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one Server-Sent Event with a JSON payload.
+func writeSSE(w io.Writer, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"encoding failure"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

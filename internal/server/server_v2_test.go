@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphdiam/internal/store"
+)
+
+func waitForHTTP(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestJobsAsyncLifecycle drives the v2 happy path: submit, list, poll to
+// completion, and check that the result matches the synchronous v1 answer
+// byte for byte (same store, same cache).
+func TestJobsAsyncLifecycle(t *testing.T) {
+	ts, st := newTestServer(t)
+	t.Cleanup(st.Close)
+	addSpecGraph(t, ts, "m", "mesh:16", 1)
+
+	var job store.JobView
+	code := doJSON(t, "POST", ts.URL+"/v2/jobs",
+		map[string]any{"op": "diameter", "graph": "m", "tau": 16, "seed": 5, "workers": 2}, &job)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if job.ID == "" || job.Kind != store.JobDiameter {
+		t.Fatalf("submit view %+v", job)
+	}
+
+	var listing struct {
+		Jobs []store.JobView `json:"jobs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/jobs", nil, &listing); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != job.ID {
+		t.Fatalf("listing %+v", listing)
+	}
+
+	// Poll until terminal.
+	var final store.JobView
+	waitForHTTP(t, "job terminal", func() bool {
+		if code := doJSON(t, "GET", ts.URL+"/v2/jobs/"+job.ID, nil, &final); code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+		return final.State.Terminal()
+	})
+	if final.State != store.JobDone || final.Cached {
+		t.Fatalf("final %+v", final)
+	}
+
+	// v1 with identical params is a cache hit returning the same numbers.
+	var d DiameterResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/diameter",
+		map[string]any{"graph": "m", "tau": 16, "seed": 5, "workers": 2}, &d); code != http.StatusOK {
+		t.Fatalf("v1 after job: status %d", code)
+	}
+	if !d.Cached {
+		t.Fatal("v1 request after identical job should hit the cache")
+	}
+	// Compare via re-marshalled job result (it decoded as map[string]any).
+	jb, _ := json.Marshal(final.Result)
+	var jobRes store.DiameterResult
+	if err := json.Unmarshal(jb, &jobRes); err != nil {
+		t.Fatal(err)
+	}
+	if jobRes.Estimate != d.Estimate || jobRes.Metrics != d.Metrics {
+		t.Fatalf("job result %+v differs from v1 result %+v", jobRes, d.DiameterResult)
+	}
+	if c := st.Stats().Counters.Computations; c != 1 {
+		t.Fatalf("want 1 BSP run across v2+v1, got %d", c)
+	}
+}
+
+// TestJobCancelOverHTTP: a long decompose submitted via POST /v2/jobs is
+// cancelled via DELETE and reaches the cancelled state with partial
+// coverage.
+func TestJobCancelOverHTTP(t *testing.T) {
+	ts, st := newTestServer(t)
+	t.Cleanup(st.Close)
+	// A long unit path decomposes in O(n) supersteps — a wide cancel window.
+	addSpecGraph(t, ts, "usa", "path:300000", 7)
+
+	var job store.JobView
+	if code := doJSON(t, "POST", ts.URL+"/v2/jobs",
+		map[string]any{"op": "decompose", "graph": "usa", "tau": 2, "workers": 2}, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitForHTTP(t, "first progress", func() bool {
+		var v store.JobView
+		doJSON(t, "GET", ts.URL+"/v2/jobs/"+job.ID, nil, &v)
+		return v.Progress != nil
+	})
+	if code := doJSON(t, "DELETE", ts.URL+"/v2/jobs/"+job.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	var final store.JobView
+	waitForHTTP(t, "cancelled", func() bool {
+		doJSON(t, "GET", ts.URL+"/v2/jobs/"+job.ID, nil, &final)
+		return final.State.Terminal()
+	})
+	if final.State != store.JobCancelled {
+		t.Fatalf("state %s after DELETE", final.State)
+	}
+	if final.Progress == nil || final.Progress.Coverage >= 1 {
+		t.Fatalf("expected partial coverage on cancelled job, got %+v", final.Progress)
+	}
+	if final.Result != nil {
+		t.Fatal("cancelled job carries a result")
+	}
+}
+
+// TestJobEventsSSE consumes the /events stream of a running job and checks
+// the SSE framing, monotone coverage, and the terminal "done" event.
+func TestJobEventsSSE(t *testing.T) {
+	ts, st := newTestServer(t)
+	t.Cleanup(st.Close)
+	// Long-running instance so the SSE connection attaches mid-flight.
+	addSpecGraph(t, ts, "usa", "path:200000", 3)
+
+	var job store.JobView
+	if code := doJSON(t, "POST", ts.URL+"/v2/jobs",
+		map[string]any{"op": "decompose", "graph": "usa", "tau": 2, "seed": 2}, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+
+	// Parse SSE frames until the stream ends.
+	type frame struct {
+		event string
+		job   store.JobView
+	}
+	var frames []frame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur frame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.job); err != nil {
+				t.Fatalf("bad SSE payload: %v", err)
+			}
+		case line == "":
+			frames = append(frames, cur)
+			cur = frame{}
+		}
+	}
+	if len(frames) < 2 {
+		t.Fatalf("want at least initial + done frames, got %d", len(frames))
+	}
+	last := frames[len(frames)-1]
+	if last.event != "done" || last.job.State != store.JobDone {
+		t.Fatalf("last frame %q state %s", last.event, last.job.State)
+	}
+	coverage := -1.0
+	progressFrames := 0
+	for _, f := range frames {
+		if f.event != "progress" || f.job.Progress == nil {
+			continue
+		}
+		progressFrames++
+		if c := f.job.Progress.Coverage; c < coverage {
+			t.Fatalf("SSE coverage regressed %v -> %v", coverage, c)
+		} else {
+			coverage = c
+		}
+	}
+	if progressFrames == 0 {
+		t.Fatal("no progress frames streamed")
+	}
+}
+
+func TestJobEndpointErrors(t *testing.T) {
+	ts, st := newTestServer(t)
+	t.Cleanup(st.Close)
+	addSpecGraph(t, ts, "m", "mesh:8", 1)
+
+	cases := []struct {
+		name, method, path string
+		body               string
+		want               int
+	}{
+		{"bad op", "POST", "/v2/jobs", `{"op":"nope","graph":"m"}`, http.StatusBadRequest},
+		{"missing graph", "POST", "/v2/jobs", `{"op":"decompose","graph":"ghost"}`, http.StatusNotFound},
+		{"bad params", "POST", "/v2/jobs", `{"op":"diameter","graph":"m","deltaInit":"zzz"}`, http.StatusBadRequest},
+		{"unknown job", "GET", "/v2/jobs/job-999999", ``, http.StatusNotFound},
+		{"unknown job cancel", "DELETE", "/v2/jobs/job-999999", ``, http.StatusNotFound},
+		{"unknown job events", "GET", "/v2/jobs/job-999999/events", ``, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestV1DisconnectCancelsJob: a v1 client that gives up mid-computation
+// cancels the underlying job, exactly like the pre-job direct path did.
+func TestV1DisconnectCancelsJob(t *testing.T) {
+	st := store.New(store.Config{MaxConcurrent: 2})
+	t.Cleanup(st.Close)
+	ts := httptest.NewServer(New(st, Config{}))
+	t.Cleanup(ts.Close)
+	addSpecGraph(t, ts, "usa", "path:400000", 7)
+
+	ctxReq, err := http.NewRequest("POST", ts.URL+"/v1/decompose",
+		strings.NewReader(`{"graph":"usa","tau":2,"workers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	if _, err := client.Do(ctxReq); err == nil {
+		t.Fatal("expected the client timeout to abort the request")
+	}
+	// The job the v1 wrapper submitted must reach cancelled, not run on.
+	waitForHTTP(t, "job cancelled after disconnect", func() bool {
+		jobs := st.Jobs()
+		return len(jobs) == 1 && jobs[0].State == store.JobCancelled
+	})
+}

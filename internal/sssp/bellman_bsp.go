@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"context"
 	"math"
 
 	"graphdiam/internal/bsp"
@@ -15,8 +16,10 @@ import (
 // depth + 1, with no way to trade rounds for work.
 //
 // Results are exact; metrics accumulate in the engine and the returned
-// DeltaResult (Delta is reported as +Inf).
-func BellmanFordBSP(g *graph.Graph, src graph.NodeID, e *bsp.Engine) DeltaResult {
+// DeltaResult (Delta is reported as +Inf). Cancellation of ctx is observed
+// at superstep barriers; a cancelled run returns ctx's error.
+func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bsp.Engine) (DeltaResult, error) {
+	e.Bind(ctx)
 	n := g.NumNodes()
 	res := DeltaResult{Dist: make([]float64, n), Delta: math.Inf(1)}
 	dist := res.Dist
@@ -85,11 +88,14 @@ func BellmanFordBSP(g *graph.Graph, src graph.NodeID, e *bsp.Engine) DeltaResult
 		})
 		e.Metrics().AddRounds(1)
 		frontiers, nextFront = nextFront, frontiers
+		if err := e.Err(); err != nil {
+			return DeltaResult{}, err
+		}
 	}
 
 	after := e.Metrics().Snapshot()
 	res.Rounds = after.Rounds - before.Rounds
 	res.Relaxations = after.Messages - before.Messages
 	res.Updates = 1 + after.Updates - before.Updates
-	return res
+	return res, nil
 }

@@ -14,7 +14,7 @@ func TestBellmanFordBSPMatchesDijkstra(t *testing.T) {
 	g := gen.UniformWeights(gen.GNM(250, 800, r), r)
 	want := Dijkstra(g, 0)
 	for _, workers := range []int{1, 3, 8} {
-		got := BellmanFordBSP(g, 0, bsp.New(workers))
+		got := mustBellmanBSP(t, g, 0, bsp.New(workers))
 		for i := range want {
 			if math.Abs(want[i]-got.Dist[i]) > 1e-9 &&
 				!(math.IsInf(want[i], 1) && math.IsInf(got.Dist[i], 1)) {
@@ -26,7 +26,7 @@ func TestBellmanFordBSPMatchesDijkstra(t *testing.T) {
 
 func TestBellmanFordBSPRoundsEqualTreeDepthPlusOne(t *testing.T) {
 	g := gen.Path(12)
-	res := BellmanFordBSP(g, 0, bsp.New(2))
+	res := mustBellmanBSP(t, g, 0, bsp.New(2))
 	// 11 productive supersteps + 1 that improves nothing.
 	if res.Rounds != 12 {
 		t.Fatalf("rounds = %d, want 12", res.Rounds)
@@ -41,7 +41,7 @@ func TestBellmanFordBSPNeedsMoreRoundsThanDeltaStepping(t *testing.T) {
 	// than the tuned run's.
 	r := rng.New(82)
 	g := gen.UniformWeights(gen.Mesh(20), r)
-	bf := BellmanFordBSP(g, 0, bsp.New(2))
+	bf := mustBellmanBSP(t, g, 0, bsp.New(2))
 	ds := DeltaSteppingSeq(g, 0, 100) // effectively one bucket too
 	if bf.Work() < ds.Work()/4 {
 		t.Fatalf("unexpected work profile: BF %d, one-bucket ΔS %d", bf.Work(), ds.Work())
@@ -56,6 +56,6 @@ func BenchmarkBellmanFordBSPMesh48(b *testing.B) {
 	e := bsp.New(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BellmanFordBSP(g, 0, e)
+		mustBellmanBSP(b, g, 0, e)
 	}
 }

@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"context"
 	"math"
 
 	"graphdiam/internal/bsp"
@@ -134,11 +135,13 @@ type relaxReq struct {
 // Heavy edges of the bucket's settled set are relaxed once per bucket.
 //
 // Costs are accumulated both in the returned DeltaResult and in the
-// engine's Metrics.
-func DeltaStepping(g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engine) DeltaResult {
+// engine's Metrics. Cancellation of ctx is observed between bucket phases
+// (superstep barriers); a cancelled run returns ctx's error.
+func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engine) (DeltaResult, error) {
 	if delta <= 0 {
 		panic("sssp: delta must be positive")
 	}
+	e.Bind(ctx)
 	n := g.NumNodes()
 	res := DeltaResult{Dist: make([]float64, n), Delta: delta}
 	dist := res.Dist
@@ -207,6 +210,9 @@ func DeltaStepping(g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engin
 	}
 
 	for {
+		if err := e.Err(); err != nil {
+			return DeltaResult{}, err
+		}
 		// Globally lowest non-empty bucket.
 		b := -1
 		for w := 0; w < P; w++ {
@@ -248,6 +254,9 @@ func DeltaStepping(g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engin
 				break
 			}
 			relaxPhase(frontiers, true)
+			if err := e.Err(); err != nil {
+				return DeltaResult{}, err
+			}
 		}
 		// Heavy phase over the settled sets.
 		anySettled := false
@@ -270,7 +279,7 @@ func DeltaStepping(g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engin
 	res.Rounds = after.Rounds - before.Rounds
 	res.Relaxations = after.Messages - before.Messages
 	res.Updates = 1 + after.Updates - before.Updates // +1 for the source init
-	return res
+	return res, nil
 }
 
 // SuggestDelta returns a reasonable default bucket width: the average edge
@@ -303,9 +312,13 @@ func TuneDelta(g *graph.Graph, src graph.NodeID, candidates []float64) float64 {
 // DiameterUpperBound runs Δ-stepping from src and returns the paper's
 // SSSP-based 2-approximation of the weighted diameter: twice the weight of
 // the heaviest shortest path found, together with the run's costs. The
-// true diameter Φ satisfies estimate/2 ≤ Φ ≤ estimate.
-func DiameterUpperBound(g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engine) (float64, DeltaResult) {
-	res := DeltaStepping(g, src, delta, e)
+// true diameter Φ satisfies estimate/2 ≤ Φ ≤ estimate. Cancellation of ctx
+// is observed between bucket phases.
+func DiameterUpperBound(ctx context.Context, g *graph.Graph, src graph.NodeID, delta float64, e *bsp.Engine) (float64, DeltaResult, error) {
+	res, err := DeltaStepping(ctx, g, src, delta, e)
+	if err != nil {
+		return 0, DeltaResult{}, err
+	}
 	ecc, _ := Eccentricity(res.Dist)
-	return 2 * ecc, res
+	return 2 * ecc, res, nil
 }

@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -149,7 +150,7 @@ func TestDeltaSteppingParallelMatchesDijkstra(t *testing.T) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			e := bsp.New(workers)
 			delta := SuggestDelta(g)
-			got := DeltaStepping(g, 0, delta, e)
+			got := mustDeltaStepping(t, g, 0, delta, e)
 			for i := range want {
 				if math.Abs(want[i]-got.Dist[i]) > 1e-9 &&
 					!(math.IsInf(want[i], 1) && math.IsInf(got.Dist[i], 1)) {
@@ -182,7 +183,7 @@ func TestDeltaSteppingPanicsOnBadDelta(t *testing.T) {
 	g := gen.Path(3)
 	for _, f := range []func(){
 		func() { DeltaSteppingSeq(g, 0, 0) },
-		func() { DeltaStepping(g, 0, -1, bsp.New(2)) },
+		func() { DeltaStepping(context.Background(), g, 0, -1, bsp.New(2)) },
 	} {
 		func() {
 			defer func() {
@@ -201,7 +202,7 @@ func TestParallelAccountingConsistency(t *testing.T) {
 	r := rng.New(66)
 	g := gen.UniformWeights(gen.Mesh(12), r)
 	e := bsp.New(4)
-	res := DeltaStepping(g, 0, 0.3, e)
+	res := mustDeltaStepping(t, g, 0, 0.3, e)
 	snap := e.Metrics().Snapshot()
 	if res.Rounds != snap.Rounds {
 		t.Fatalf("rounds mismatch: result %d, engine %d", res.Rounds, snap.Rounds)
@@ -232,11 +233,11 @@ func TestDiameterUpperBound(t *testing.T) {
 	// must always be in [Φ, 2Φ].
 	g := gen.Path(50)
 	e := bsp.New(2)
-	ub, _ := DiameterUpperBound(g, 0, 1, e)
+	ub, _ := mustUpperBound(t, g, 0, 1, e)
 	if ub != 2*49 {
 		t.Fatalf("ub from end = %v, want 98", ub)
 	}
-	ubMid, _ := DiameterUpperBound(g, 25, 1, bsp.New(2))
+	ubMid, _ := mustUpperBound(t, g, 25, 1, bsp.New(2))
 	if ubMid < 49 || ubMid > 98 {
 		t.Fatalf("ub from middle = %v, want within [49, 98]", ubMid)
 	}
@@ -252,7 +253,7 @@ func TestDeltaSteppingProperty(t *testing.T) {
 		workers := int(workersRaw)%4 + 1
 		want := Dijkstra(g, 0)
 		seq := DeltaSteppingSeq(g, 0, delta)
-		par := DeltaStepping(g, 0, delta, bsp.New(workers))
+		par := mustDeltaStepping(t, g, 0, delta, bsp.New(workers))
 		for i := range want {
 			wInf := math.IsInf(want[i], 1)
 			if wInf != math.IsInf(seq.Dist[i], 1) || wInf != math.IsInf(par.Dist[i], 1) {
@@ -295,6 +296,6 @@ func BenchmarkDeltaSteppingParallelMesh64(b *testing.B) {
 	e := bsp.New(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		DeltaStepping(g, 0, delta, e)
+		mustDeltaStepping(b, g, 0, delta, e)
 	}
 }

@@ -124,12 +124,20 @@ type DiameterResult struct {
 // the named graph. cached reports whether an identical earlier or
 // concurrent request supplied the result.
 func (s *Store) Decompose(ctx context.Context, graphName string, p Params) (DecomposeResult, bool, error) {
+	return s.DecomposeObserved(ctx, graphName, p, nil)
+}
+
+// DecomposeObserved is Decompose with a progress observer. The observer is
+// not part of the cache identity; it fires only when this request is the
+// one actually running the computation — cache hits and joined flights
+// deliver the result without intermediate snapshots.
+func (s *Store) DecomposeObserved(ctx context.Context, graphName string, p Params, progress core.ProgressFunc) (DecomposeResult, bool, error) {
 	p = p.normalized()
 	if _, err := p.options(); err != nil { // validate before touching the cache
 		return DecomposeResult{}, false, err
 	}
-	val, cached, err := s.do(ctx, graphName, p.canonical("decompose"), func(g *graph.Graph) (any, error) {
-		return s.runDecompose(graphName, g, p)
+	val, cached, err := s.do(ctx, graphName, p.canonical("decompose"), func(ctx context.Context, g *graph.Graph) (any, error) {
+		return s.runDecompose(ctx, graphName, g, p, progress)
 	})
 	if err != nil {
 		return DecomposeResult{}, false, err
@@ -137,20 +145,27 @@ func (s *Store) Decompose(ctx context.Context, graphName string, p Params) (Deco
 	return val.(DecomposeResult), cached, nil
 }
 
-func (s *Store) runDecompose(name string, g *graph.Graph, p Params) (DecomposeResult, error) {
+func (s *Store) runDecompose(ctx context.Context, name string, g *graph.Graph, p Params, progress core.ProgressFunc) (DecomposeResult, error) {
 	o, err := p.options()
 	if err != nil {
 		return DecomposeResult{}, err
 	}
+	o.Progress = progress
 	start := time.Now()
 	var cl *core.Clustering
 	switch {
 	case p.Cluster2:
-		cl = core.Cluster2(g, o).Clustering
+		var c2 *core.Cluster2Result
+		if c2, err = core.Cluster2(ctx, g, o); err == nil {
+			cl = c2.Clustering
+		}
 	case p.WeightOblivious:
-		cl = core.ClusterUnweighted(g, o)
+		cl, err = core.ClusterUnweighted(ctx, g, o)
 	default:
-		cl = core.Cluster(g, o)
+		cl, err = core.Cluster(ctx, g, o)
+	}
+	if err != nil {
+		return DecomposeResult{}, err
 	}
 	res := DecomposeResult{
 		Graph:        name,
@@ -172,12 +187,18 @@ func (s *Store) runDecompose(name string, g *graph.Graph, p Params) (DecomposeRe
 // Diameter runs (or serves from cache) the CL-DIAM diameter approximation
 // of the named graph.
 func (s *Store) Diameter(ctx context.Context, graphName string, p Params) (DiameterResult, bool, error) {
+	return s.DiameterObserved(ctx, graphName, p, nil)
+}
+
+// DiameterObserved is Diameter with a progress observer; see
+// DecomposeObserved for the observer's semantics.
+func (s *Store) DiameterObserved(ctx context.Context, graphName string, p Params, progress core.ProgressFunc) (DiameterResult, bool, error) {
 	p = p.normalized()
 	if _, err := p.options(); err != nil {
 		return DiameterResult{}, false, err
 	}
-	val, cached, err := s.do(ctx, graphName, p.canonical("diameter"), func(g *graph.Graph) (any, error) {
-		return s.runDiameter(graphName, g, p)
+	val, cached, err := s.do(ctx, graphName, p.canonical("diameter"), func(ctx context.Context, g *graph.Graph) (any, error) {
+		return s.runDiameter(ctx, graphName, g, p, progress)
 	})
 	if err != nil {
 		return DiameterResult{}, false, err
@@ -185,17 +206,21 @@ func (s *Store) Diameter(ctx context.Context, graphName string, p Params) (Diame
 	return val.(DiameterResult), cached, nil
 }
 
-func (s *Store) runDiameter(name string, g *graph.Graph, p Params) (DiameterResult, error) {
+func (s *Store) runDiameter(ctx context.Context, name string, g *graph.Graph, p Params, progress core.ProgressFunc) (DiameterResult, error) {
 	o, err := p.options()
 	if err != nil {
 		return DiameterResult{}, err
 	}
-	d := core.ApproxDiameter(g, core.DiamOptions{
+	o.Progress = progress
+	d, err := core.ApproxDiameter(ctx, g, core.DiamOptions{
 		Options:         o,
 		Quotient:        quotient.DiameterOptions{Sweeps: p.Sweeps},
 		UseCluster2:     p.Cluster2,
 		WeightOblivious: p.WeightOblivious,
 	})
+	if err != nil {
+		return DiameterResult{}, err
+	}
 	res := DiameterResult{
 		Graph:            name,
 		Estimate:         d.Estimate,

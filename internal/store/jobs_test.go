@@ -1,0 +1,346 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"graphdiam/internal/gen"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func addSpec(t *testing.T, s *Store, name, spec string) {
+	t.Helper()
+	g, err := gen.FromSpec(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddGraph(name, g, "test "+spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	s := newTestStore(t, Config{}, "g")
+	view, err := s.SubmitJob(JobDecompose, "g", Params{Tau: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.State != JobQueued || view.ID == "" {
+		t.Fatalf("initial view %+v", view)
+	}
+	final, err := s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || final.Cached {
+		t.Fatalf("final view %+v", final)
+	}
+	res, ok := final.Result.(DecomposeResult)
+	if !ok || res.NumClusters <= 0 {
+		t.Fatalf("job result %+v", final.Result)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Fatalf("missing timestamps: %+v", final)
+	}
+
+	// The job's result landed in the shared cache: a synchronous query with
+	// identical parameters is a hit, and a second identical job is cached.
+	if _, cached, err := s.Decompose(context.Background(), "g", Params{Tau: 8, Seed: 3}); err != nil || !cached {
+		t.Fatalf("sync query after job: cached=%v err=%v", cached, err)
+	}
+	v2, err := s.SubmitJob(JobDecompose, "g", Params{Tau: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.WaitJob(context.Background(), v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.State != JobDone || !f2.Cached {
+		t.Fatalf("second job should be served from cache: %+v", f2)
+	}
+	if f2.Result.(DecomposeResult) != res {
+		t.Fatal("cached job result differs from original")
+	}
+}
+
+func TestJobValidationAndNotFound(t *testing.T) {
+	s := newTestStore(t, Config{}, "g")
+	if _, err := s.SubmitJob(JobKind("bogus"), "g", Params{}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if _, err := s.SubmitJob(JobDiameter, "g", Params{DeltaInit: "bogus"}); err == nil {
+		t.Fatal("bogus params accepted")
+	}
+	var nf *NotFoundError
+	if _, err := s.SubmitJob(JobDiameter, "ghost", Params{}); !errors.As(err, &nf) {
+		t.Fatalf("want NotFoundError, got %v", err)
+	}
+	if _, ok := s.Job("job-999999"); ok {
+		t.Fatal("unknown job id found")
+	}
+	if _, ok := s.CancelJob("job-999999"); ok {
+		t.Fatal("cancelled an unknown job")
+	}
+	if _, err := s.WaitJob(context.Background(), "job-999999"); err == nil {
+		t.Fatal("waited on an unknown job")
+	}
+}
+
+// TestJobCancelMidRun is the satellite acceptance test at the store layer:
+// a decompose job on a large road network cancelled mid-flight transitions
+// to cancelled promptly (the BSP engine stops within one superstep) and
+// leaves no goroutines behind.
+func TestJobCancelMidRun(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	defer s.Close()
+	// A long unit path decomposes in O(n) supersteps (Δ doubles from 1 while
+	// every growing step advances one hop), giving a wide mid-run window.
+	addSpec(t, s, "usa", "path:300000")
+	baseline := runtime.NumGoroutine()
+
+	view, err := s.SubmitJob(JobDecompose, "usa", Params{Tau: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for demonstrable mid-flight progress, then cancel.
+	waitFor(t, "first progress snapshot", func() bool {
+		v, ok := s.Job(view.ID)
+		return ok && v.Progress != nil
+	})
+	cancelledAt := time.Now()
+	if _, ok := s.CancelJob(view.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	final, err := s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(cancelledAt)
+	if final.State != JobCancelled {
+		t.Fatalf("state %s after cancel (progress %+v)", final.State, final.Progress)
+	}
+	if final.Error != context.Canceled.Error() {
+		t.Fatalf("job error %q, want %q", final.Error, context.Canceled)
+	}
+	if final.Result != nil {
+		t.Fatal("cancelled job carries a result")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v to land", elapsed)
+	}
+	if v, _ := s.Job(view.ID); v.Progress == nil || v.Progress.Coverage >= 1 {
+		t.Fatalf("cancelled mid-flight but progress is %+v", v.Progress)
+	}
+
+	// No goroutines left behind, and the cancelled run did not poison the
+	// cache: a fresh identical job recomputes and succeeds.
+	waitGoroutines(t, baseline)
+	v2, err := s.SubmitJob(JobDecompose, "usa", Params{Tau: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.WaitJob(context.Background(), v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.State != JobDone || f2.Cached {
+		t.Fatalf("rerun after cancellation: %+v", f2)
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+}
+
+// TestFollowerRetriesAfterLeaderCancelledMidRun: a singleflight follower
+// whose leader is cancelled mid-BSP-run must not inherit the cancellation —
+// it retries, becomes the new leader, and succeeds.
+func TestFollowerRetriesAfterLeaderCancelledMidRun(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2})
+	defer s.Close()
+	addSpec(t, s, "usa", "path:300000") // long run: the leader must still be mid-flight when cancelled
+	p := Params{Tau: 2, Seed: 9, Workers: 2}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	var (
+		wg         sync.WaitGroup
+		leaderErr  error
+		followerV  DecomposeResult
+		followerE  error
+		followerOK bool
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = s.Decompose(leaderCtx, "usa", p)
+	}()
+	waitFor(t, "leader in flight", func() bool { return s.Stats().InFlight == 1 })
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerV, followerOK, followerE = s.Decompose(context.Background(), "usa", p)
+	}()
+	waitFor(t, "follower joined", func() bool { return s.Stats().Counters.Dedups >= 1 })
+
+	cancelLeader() // mid-run: the leader holds a compute slot and is growing clusters
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader: want context.Canceled, got %v", leaderErr)
+	}
+	if followerE != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", followerE)
+	}
+	if followerOK {
+		t.Fatal("follower result marked cached; it must have recomputed")
+	}
+	if followerV.NumClusters <= 0 {
+		t.Fatalf("follower result %+v", followerV)
+	}
+	if e := s.Stats().Counters.Errors; e != 0 {
+		t.Fatalf("cancellation counted as %d store errors", e)
+	}
+}
+
+func TestJobRetentionEvictsOldestTerminal(t *testing.T) {
+	s := New(Config{MaxJobs: 3})
+	defer s.Close()
+	addSpec(t, s, "g", "mesh:8")
+	var ids []string
+	for i := 0; i < 6; i++ {
+		v, err := s.SubmitJob(JobDecompose, "g", Params{Tau: 4, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WaitJob(context.Background(), v.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("retained %d jobs, want 3", len(jobs))
+	}
+	// The newest three survive, in submission order.
+	for i, v := range jobs {
+		if v.ID != ids[3+i] {
+			t.Fatalf("slot %d holds %s, want %s", i, v.ID, ids[3+i])
+		}
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Fatal("evicted job still resolvable")
+	}
+	counts := s.Stats().Jobs
+	if counts.Done != 3 || counts.Running != 0 {
+		t.Fatalf("job counts %+v", counts)
+	}
+}
+
+func TestJobSubscribeStreamsProgressThenCloses(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	addSpec(t, s, "usa", "road:96")
+
+	view, err := s.SubmitJob(JobDecompose, "usa", Params{Tau: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, events, cancelSub, ok := s.SubscribeJob(view.ID)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer cancelSub()
+	if snap.ID != view.ID {
+		t.Fatalf("snapshot for wrong job: %+v", snap)
+	}
+
+	var progressSeen int
+	lastCoverage := -1.0
+	for ev := range events {
+		if ev.Job.ID != view.ID {
+			t.Fatalf("event for wrong job: %+v", ev.Job)
+		}
+		if ev.Type == "progress" {
+			progressSeen++
+			if ev.Job.Progress == nil {
+				t.Fatal("progress event without snapshot")
+			}
+			if c := ev.Job.Progress.Coverage; c < lastCoverage {
+				t.Fatalf("coverage regressed %v -> %v", lastCoverage, c)
+			} else {
+				lastCoverage = c
+			}
+		}
+	}
+	// Channel closed: job is terminal.
+	final, ok := s.Job(view.ID)
+	if !ok || final.State != JobDone {
+		t.Fatalf("final %+v ok=%v", final, ok)
+	}
+	if progressSeen == 0 {
+		t.Fatal("no progress events observed before completion")
+	}
+
+	// Subscribing to a terminal job yields an immediately closed channel.
+	snap2, ch, cancel2, ok := s.SubscribeJob(view.ID)
+	if !ok {
+		t.Fatal("subscribe to terminal job failed")
+	}
+	defer cancel2()
+	if snap2.State != JobDone {
+		t.Fatalf("terminal snapshot state %s", snap2.State)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("terminal job's channel not closed")
+	}
+}
+
+func TestStoreCloseCancelsJobs(t *testing.T) {
+	s := New(Config{})
+	addSpec(t, s, "usa", "path:300000")
+	view, err := s.SubmitJob(JobDecompose, "usa", Params{Tau: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", func() bool {
+		v, _ := s.Job(view.ID)
+		return v.State == JobRunning
+	})
+	s.Close()
+	final, err := s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobCancelled {
+		t.Fatalf("state after Close: %s", final.State)
+	}
+}

@@ -39,6 +39,10 @@ type Config struct {
 	// across all graphs and operations. Queued computations wait for a
 	// slot (or their context). Default 2.
 	MaxConcurrent int
+	// MaxJobs bounds job-registry retention: when the registry exceeds it,
+	// the oldest terminal (done/failed/cancelled) jobs are evicted. Live
+	// jobs are never evicted. Default 512.
+	MaxJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +51,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 512
 	}
 	return c
 }
@@ -101,6 +108,15 @@ type Counters struct {
 	Errors       int64 `json:"errors"`
 }
 
+// JobCounts tallies registry jobs by state.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
 // Stats is a point-in-time view of the store for monitoring.
 type Stats struct {
 	Counters      Counters     `json:"counters"`
@@ -108,6 +124,7 @@ type Stats struct {
 	MaxEntries    int          `json:"maxEntries"`
 	InFlight      int          `json:"inFlight"`
 	MaxConcurrent int          `json:"maxConcurrent"`
+	Jobs          JobCounts    `json:"jobs"`
 	Graphs        []GraphInfo  `json:"graphs"`
 	TotalCost     bsp.Snapshot `json:"totalCost"` // summed metrics of all completed runs
 }
@@ -118,29 +135,50 @@ type Store struct {
 	cfg Config
 	sem chan struct{} // compute slots
 
-	mu      sync.Mutex
-	nextID  uint64
-	graphs  map[string]*graphEntry
-	cache   map[key]*list.Element // values are *entry wrapped in list elements
-	lru     *list.List            // front = most recently used
-	flights map[key]*flight
-	ctrs    Counters
-	cost    bsp.Metrics // accumulated metrics of completed computations
-	now     func() time.Time
+	// baseCtx parents every job's context; Close cancels it, aborting all
+	// running jobs at their next superstep barrier.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	nextID   uint64
+	graphs   map[string]*graphEntry
+	cache    map[key]*list.Element // values are *entry wrapped in list elements
+	lru      *list.List            // front = most recently used
+	flights  map[key]*flight
+	ctrs     Counters
+	cost     bsp.Metrics // accumulated metrics of completed computations
+	nextJob  uint64
+	jobs     map[string]*job
+	jobOrder []string // submission order, for terminal-job eviction
+	now      func() time.Time
 }
 
 // New returns an empty store sized by cfg.
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Store{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		graphs:  make(map[string]*graphEntry),
-		cache:   make(map[key]*list.Element),
-		lru:     list.New(),
-		flights: make(map[key]*flight),
-		now:     time.Now,
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		graphs:     make(map[string]*graphEntry),
+		cache:      make(map[key]*list.Element),
+		lru:        list.New(),
+		flights:    make(map[key]*flight),
+		jobs:       make(map[string]*job),
+		now:        time.Now,
 	}
+}
+
+// Close cancels every live job. Running BSP engines observe the
+// cancellation at their next superstep barrier; job states transition to
+// cancelled as the runs unwind. Jobs submitted after Close are cancelled
+// immediately; direct (synchronous) queries are unaffected — they run
+// under their caller's context.
+func (s *Store) Close() {
+	s.baseCancel()
 }
 
 // AddGraph registers g under name. source is a human-readable provenance
@@ -223,6 +261,7 @@ func (s *Store) Stats() Stats {
 		MaxEntries:    s.cfg.MaxEntries,
 		InFlight:      len(s.flights),
 		MaxConcurrent: s.cfg.MaxConcurrent,
+		Jobs:          s.jobCountsLocked(),
 		TotalCost:     s.cost.Snapshot(),
 	}
 	for _, e := range s.graphs {
@@ -248,16 +287,17 @@ func (s *Store) purgeLocked(graphID uint64) {
 
 // do returns the cached value for (graph, params), joining an in-flight
 // identical computation if one exists, and otherwise computing it by
-// running fn on the registered graph under the concurrency cap. cached
-// reports whether the value was served without running fn (cache hit or
-// joined flight).
+// running fn on the registered graph under the concurrency cap. fn
+// receives the leader's context and must abandon its work when it is
+// cancelled. cached reports whether the value was served without running
+// fn (cache hit or joined flight).
 //
 // A follower whose leader was cancelled (the leader's own context expired
-// while waiting for a compute slot) retries instead of inheriting the
-// leader's error: one retrier becomes the new leader, the rest join its
-// flight. A follower only fails on its own context.
+// while waiting for a compute slot or mid-run) retries instead of
+// inheriting the leader's error: one retrier becomes the new leader, the
+// rest join its flight. A follower only fails on its own context.
 func (s *Store) do(ctx context.Context, graphName, params string,
-	fn func(g *graph.Graph) (any, error)) (val any, cached bool, err error) {
+	fn func(ctx context.Context, g *graph.Graph) (any, error)) (val any, cached bool, err error) {
 
 	for {
 		s.mu.Lock()
@@ -299,7 +339,7 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		// Leader path: acquire a compute slot, run, publish.
 		select {
 		case s.sem <- struct{}{}:
-			f.val, f.err = fn(g)
+			f.val, f.err = fn(ctx, g)
 			<-s.sem
 		case <-ctx.Done():
 			f.err = ctx.Err()
