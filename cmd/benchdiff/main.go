@@ -1,0 +1,102 @@
+// Command benchdiff compares two benchmark snapshot files (the
+// BENCH_*.json format produced from the root-level benchmarks: a
+// "benchmarks" object mapping benchmark name to ns/op) and prints the
+// per-benchmark delta.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-threshold 25] OLD.json NEW.json
+//
+// It exits non-zero if any benchmark present in both files regressed by
+// more than the threshold percentage (default 25%), making it suitable as a
+// CI tripwire on checked-in snapshots. Benchmarks present in only one file
+// are reported but never fail the run (the suite is allowed to grow).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type snapshot struct {
+	Scale      string             `json:"scale"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 25, "fail on regressions above this percentage")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldS, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newS, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldS.Benchmarks))
+	for name := range oldS.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-36s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, name := range names {
+		oldNS := oldS.Benchmarks[name]
+		newNS, ok := newS.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-36s %14.0f %14s %9s\n", name, oldNS, "-", "gone")
+			continue
+		}
+		pct := 100 * (newNS - oldNS) / oldNS
+		marker := ""
+		switch {
+		case pct > *threshold:
+			marker = "  REGRESSION"
+			regressions++
+		case pct < -33:
+			marker = fmt.Sprintf("  %.2fx faster", oldNS/newNS)
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %+8.1f%%%s\n", name, oldNS, newNS, pct, marker)
+	}
+	for name, newNS := range newS.Benchmarks {
+		if _, ok := oldS.Benchmarks[name]; !ok {
+			fmt.Printf("%-36s %14s %14.0f %9s\n", name, "-", newNS, "new")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n",
+			regressions, *threshold)
+		os.Exit(1)
+	}
+}

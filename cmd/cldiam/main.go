@@ -56,12 +56,14 @@ func main() {
 	if t <= 0 {
 		t = core.TauForQuotientTarget(g.NumNodes(), *quotient)
 	}
+	engine := bsp.New(*workers)
+	defer engine.Close()
 	opts := core.DiamOptions{
 		Options: core.Options{
 			Tau:     t,
 			Seed:    *seed,
 			StepCap: *stepCap,
-			Engine:  bsp.New(*workers),
+			Engine:  engine,
 		},
 		UseCluster2: *cluster2,
 	}

@@ -62,6 +62,7 @@ func main() {
 	defer stop()
 
 	e := bsp.New(*workers)
+	defer e.Close()
 	start := time.Now()
 	ub, res, err := sssp.DiameterUpperBound(ctx, g, src, d, e)
 	if err != nil {

@@ -58,6 +58,7 @@ func main() {
 
 	if *exact {
 		e := bsp.New(0)
+		defer e.Close()
 		fmt.Printf("weighted diameter = %.6g (exact)\n", validate.ExactDiameter(g, e))
 		fmt.Printf("unweighted diameter = %d (exact)\n", validate.UnweightedDiameter(g, e))
 	}

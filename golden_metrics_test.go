@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/core"
+	"graphdiam/internal/exp"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/sssp"
+)
+
+type snap struct{ rounds, messages, updates int64 }
+
+// goldenSnapshots are the bsp.Snapshot values (rounds, messages, updates)
+// of the seed algorithms on the ScaleTest benchmark graphs, captured from
+// the tree BEFORE the PR-3 hot-path overhaul (persistent pool, O(1)
+// routing, coalesced mailboxes, cached stats). The overhaul must keep the
+// paper's platform-independent accounting byte-identical per worker count —
+// note the updates counter legitimately varies ACROSS worker counts (its
+// value depends on message arrival order, fixed per P), which is exactly
+// why each (graph, algorithm, workers) cell is pinned separately.
+var goldenSnapshots = []struct {
+	graph   string
+	algo    string
+	workers int
+	want    snap
+}{
+	{"roads-big", "cluster", 1, snap{43, 6297, 2762}},
+	{"roads-big", "cluster2", 1, snap{119, 13780, 5816}},
+	{"roads-big", "unweighted", 1, snap{31, 5461, 2306}},
+	{"roads-big", "deltastep", 1, snap{185, 7276, 2540}},
+	{"roads-big", "cluster", 4, snap{43, 6297, 2762}},
+	{"roads-big", "cluster2", 4, snap{119, 13780, 5818}},
+	{"roads-big", "unweighted", 4, snap{31, 5461, 2306}},
+	{"roads-big", "deltastep", 4, snap{185, 7276, 2547}},
+	{"roads-big", "cluster", 8, snap{43, 6297, 2762}},
+	{"roads-big", "cluster2", 8, snap{119, 13780, 5831}},
+	{"roads-big", "unweighted", 8, snap{31, 5461, 2306}},
+	{"roads-big", "deltastep", 8, snap{185, 7276, 2553}},
+	{"roads-small", "cluster", 1, snap{33, 1694, 652}},
+	{"roads-small", "cluster2", 1, snap{77, 3393, 1353}},
+	{"roads-small", "unweighted", 1, snap{21, 1184, 569}},
+	{"roads-small", "deltastep", 1, snap{86, 1765, 626}},
+	{"roads-small", "cluster", 4, snap{33, 1694, 652}},
+	{"roads-small", "cluster2", 4, snap{77, 3393, 1352}},
+	{"roads-small", "unweighted", 4, snap{21, 1184, 569}},
+	{"roads-small", "deltastep", 4, snap{86, 1765, 630}},
+	{"roads-small", "cluster", 8, snap{33, 1694, 653}},
+	{"roads-small", "cluster2", 8, snap{77, 3393, 1353}},
+	{"roads-small", "unweighted", 8, snap{21, 1184, 571}},
+	{"roads-small", "deltastep", 8, snap{86, 1765, 640}},
+	{"mesh", "cluster", 1, snap{35, 2973, 1276}},
+	{"mesh", "cluster2", 1, snap{90, 11363, 4251}},
+	{"mesh", "unweighted", 1, snap{24, 2509, 1029}},
+	{"mesh", "deltastep", 1, snap{112, 4091, 1283}},
+	{"mesh", "cluster", 4, snap{35, 2973, 1276}},
+	{"mesh", "cluster2", 4, snap{90, 11363, 4246}},
+	{"mesh", "unweighted", 4, snap{24, 2509, 1029}},
+	{"mesh", "deltastep", 4, snap{112, 4091, 1285}},
+	{"mesh", "cluster", 8, snap{35, 2973, 1276}},
+	{"mesh", "cluster2", 8, snap{90, 11363, 4242}},
+	{"mesh", "unweighted", 8, snap{24, 2509, 1029}},
+	{"mesh", "deltastep", 8, snap{112, 4091, 1291}},
+}
+
+// TestGoldenMetricSnapshots pins the paper-facing cost accounting to the
+// pre-overhaul values: any change to rounds, logical messages, or updates
+// on the seed graphs is a reproduction regression, not an optimisation.
+func TestGoldenMetricSnapshots(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+	for _, ng := range exp.BenchmarkGraphs(exp.ScaleTest, 12345)[:3] {
+		graphs[ng.Name] = ng.G
+	}
+	for _, tc := range goldenSnapshots {
+		g := graphs[tc.graph]
+		if g == nil {
+			t.Fatalf("unknown golden graph %q", tc.graph)
+		}
+		e := bsp.New(tc.workers)
+		var got snap
+		switch tc.algo {
+		case "cluster":
+			cl, err := core.Cluster(context.Background(), g, core.Options{Tau: 16, Seed: 42, Engine: e})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = snap{cl.Metrics.Rounds, cl.Metrics.Messages, cl.Metrics.Updates}
+		case "cluster2":
+			c2, err := core.Cluster2(context.Background(), g, core.Options{Tau: 16, Seed: 42, Engine: e})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = snap{c2.Metrics.Rounds, c2.Metrics.Messages, c2.Metrics.Updates}
+		case "unweighted":
+			cl, err := core.ClusterUnweighted(context.Background(), g, core.Options{Tau: 16, Seed: 42, Engine: e})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = snap{cl.Metrics.Rounds, cl.Metrics.Messages, cl.Metrics.Updates}
+		case "deltastep":
+			src := graph.NodeID(g.NumNodes() / 2)
+			ds, err := sssp.DeltaStepping(context.Background(), g, src, sssp.SuggestDelta(g), e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = snap{ds.Rounds, ds.Relaxations, ds.Updates}
+		default:
+			t.Fatalf("unknown algo %q", tc.algo)
+		}
+		e.Close()
+		if got != tc.want {
+			t.Errorf("%s/%s workers=%d: snapshot %+v, want %+v (pre-PR golden)",
+				tc.graph, tc.algo, tc.workers, got, tc.want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package bsp
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -88,12 +89,93 @@ func (m *Metrics) Reset() {
 // Engine executes supersteps across a fixed number of workers. It is safe
 // for sequential reuse; a single Engine must not run two supersteps
 // concurrently.
+//
+// Concurrent engines (workers > 1, not simulated) dispatch supersteps to a
+// persistent pool of long-lived worker goroutines parked on a reusable
+// barrier, so the thousands of ParallelFor/Superstep calls of a typical run
+// pay no goroutine spawning. The pool starts lazily on the first parallel
+// dispatch; Close releases it. Engines that are never closed explicitly are
+// drained by a finalizer once unreachable, but callers owning an engine's
+// lifecycle (the store, the CLIs, the experiments harness) should Close.
 type Engine struct {
 	workers  int
 	simulate bool
+	closed   bool
 	ctx      context.Context // nil means context.Background (never cancelled)
 	critPath atomic.Int64    // ns; accumulated max per-step worker time
 	metrics  Metrics
+	pool     *workerPool // lazily started; nil for sequential/simulated engines
+}
+
+// workerPool is the persistent execution crew of a concurrent engine:
+// workers-1 goroutines parked between supersteps (the dispatching goroutine
+// itself acts as worker 0). A dispatch publishes the task function, releases
+// every parked goroutine through its run channel, executes worker 0's share
+// inline, and waits on a countdown barrier for the rest.
+//
+// The pool deliberately never references its Engine between dispatches (fn
+// is cleared at the barrier), so an abandoned engine becomes unreachable and
+// its finalizer can drain the pool.
+type workerPool struct {
+	workers int
+	fn      func(w int)     // current task; set before release, cleared after
+	pending atomic.Int32    // workers not yet done with the current task
+	busy    atomic.Bool     // reentry guard: one dispatch at a time
+	run     []chan struct{} // one buffered slot per parked goroutine
+	done    chan struct{}   // signalled by the last finisher (if not worker 0)
+	quit    chan struct{}   // closed by Engine.Close / the finalizer
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		run:     make([]chan struct{}, workers-1),
+		done:    make(chan struct{}),
+		quit:    make(chan struct{}),
+	}
+	for i := range p.run {
+		p.run[i] = make(chan struct{}, 1)
+		go p.work(i)
+	}
+	return p
+}
+
+func (p *workerPool) work(slot int) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.run[slot]:
+			p.fn(slot + 1)
+			if p.pending.Add(-1) == 0 {
+				p.done <- struct{}{}
+			}
+		}
+	}
+}
+
+// dispatch runs fn(w) for every w in [0, workers), worker 0 on the calling
+// goroutine, returning when all have finished. The channel send/receive pair
+// per worker establishes the happens-before edges of the barrier.
+//
+// Engines have always forbidden concurrent supersteps; with a shared pool
+// that misuse would silently corrupt the barrier state, so it now panics
+// loudly instead (two atomic ops per superstep — noise).
+func (p *workerPool) dispatch(fn func(w int)) {
+	if !p.busy.CompareAndSwap(false, true) {
+		panic("bsp: concurrent supersteps dispatched on one Engine")
+	}
+	defer p.busy.Store(false)
+	p.fn = fn
+	p.pending.Store(int32(p.workers))
+	for _, c := range p.run {
+		c <- struct{}{}
+	}
+	fn(0)
+	if p.pending.Add(-1) != 0 {
+		<-p.done
+	}
+	p.fn = nil
 }
 
 // New returns an engine with the given number of workers. workers <= 0
@@ -175,6 +257,9 @@ func (e *Engine) Partition(n, w int) (start, end int) {
 }
 
 // Owner returns the worker owning item i of n under Partition.
+//
+// Owner pays two integer divisions per call; message-routing hot loops
+// should hoist a Router once per run instead.
 func (e *Engine) Owner(n, i int) int {
 	per := n / e.workers
 	rem := n % e.workers
@@ -187,6 +272,60 @@ func (e *Engine) Owner(n, i int) int {
 		return e.workers - 1
 	}
 	return rem + (i-boundary)/per
+}
+
+// Router is a precomputed O(1) owner lookup for the engine's partition of
+// [0, n): the two per-range divisions of Owner are replaced by exact
+// reciprocal multiplications (the division-free scheme of Lemire et al.,
+// "Faster remainder by direct computation": for d < 2³², x < 2³² and
+// c = ⌊2⁶⁴/d⌋+1, ⌊c·x/2⁶⁴⌋ = ⌊x/d⌋), hoisted once per run. Routers are
+// values; copy them freely into hot loops.
+type Router struct {
+	boundary uint32 // items below this belong to the (per+1)-sized ranges
+	rem      uint32 // number of (per+1)-sized ranges
+	cBig     uint64 // reciprocal of per+1
+	cSmall   uint64 // reciprocal of max(per, 1)
+}
+
+// Router returns the O(1) owner lookup for n items under the engine's
+// Partition. It agrees with Owner(n, i) for every i in [0, n).
+func (e *Engine) Router(n int) Router {
+	per := uint32(n / e.workers)
+	rem := uint32(n % e.workers)
+	small := per
+	if small == 0 {
+		small = 1 // never consulted: boundary == n when per == 0
+	}
+	return Router{
+		boundary: rem * (per + 1),
+		rem:      rem,
+		cBig:     reciprocal(per + 1),
+		cSmall:   reciprocal(small),
+	}
+}
+
+// reciprocal returns ⌊2⁶⁴/d⌋+1 (for powers of two the exact 2⁶⁴/d, which is
+// also exact in the multiply-shift), the constant of the Lemire scheme. For
+// d == 1 the constant is 2⁶⁴, unrepresentable — it wraps to 0, which Owner
+// treats as the identity-division sentinel.
+func reciprocal(d uint32) uint64 { return ^uint64(0)/uint64(d) + 1 }
+
+// Owner returns the worker owning item i. i must be in [0, n) for the n the
+// router was built with.
+func (r Router) Owner(i uint32) int {
+	if i < r.boundary {
+		if r.cBig == 0 { // unit ranges (divisor 1)
+			return int(i)
+		}
+		hi, _ := bits.Mul64(r.cBig, uint64(i))
+		return int(hi)
+	}
+	off := i - r.boundary
+	if r.cSmall == 0 { // unit ranges (divisor 1)
+		return int(r.rem + off)
+	}
+	hi, _ := bits.Mul64(r.cSmall, uint64(off))
+	return int(r.rem) + int(hi)
 }
 
 // ParallelFor runs fn once per worker over its partition of [0, n),
@@ -218,6 +357,20 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 		fn(0, 0, n)
 		return
 	}
+	if e.pool == nil && !e.closed {
+		e.pool = newWorkerPool(e.workers)
+		// Safety net for engines abandoned without Close (e.g. defaulted
+		// engines deep inside a run): drain the pool once unreachable.
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
+	if p := e.pool; p != nil {
+		p.dispatch(func(w int) {
+			start, end := e.Partition(n, w)
+			fn(w, start, end)
+		})
+		return
+	}
+	// Closed engine: degrade to transient goroutines rather than failing.
 	var wg sync.WaitGroup
 	wg.Add(e.workers)
 	for w := 0; w < e.workers; w++ {
@@ -228,6 +381,23 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Close releases the engine's persistent worker pool, if any. It must not
+// be called concurrently with a running superstep. Closing is idempotent;
+// a closed engine remains usable (supersteps fall back to transient
+// goroutines), so late stragglers holding a reference stay correct while
+// the common case releases its goroutines promptly.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.pool != nil {
+		close(e.pool.quit)
+		e.pool = nil
+	}
+	runtime.SetFinalizer(e, nil)
 }
 
 // Superstep runs one metered BSP superstep: a ParallelFor over [0, n)

@@ -1,0 +1,111 @@
+package bsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type testMsg struct {
+	node int32
+	val  float64
+}
+
+func lessTestMsg(a, b testMsg) bool { return a.val < b.val }
+
+// TestCoalescingKeepsPrefixMinimaChain: per (sender, node), exactly the
+// strictly-improving prefix of the candidate stream is physically enqueued,
+// in send order.
+func TestCoalescingKeepsPrefixMinimaChain(t *testing.T) {
+	m := NewCoalescingMailboxes[testMsg](2, 4, lessTestMsg)
+	m.BeginSend(0)
+	for _, v := range []float64{5, 7, 5, 3, 3, 4, 1} {
+		m.Send(0, 1, 2, testMsg{2, v})
+	}
+	var got []float64
+	m.Recv(1, func(msg testMsg) { got = append(got, msg.val) })
+	want := []float64{5, 3, 1}
+	if len(got) != len(want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCoalescingResetsPerSuperstep: BeginSend forgets the previous step's
+// minima, so the first candidate of a new step is always delivered.
+func TestCoalescingResetsPerSuperstep(t *testing.T) {
+	m := NewCoalescingMailboxes[testMsg](1, 2, lessTestMsg)
+	m.BeginSend(0)
+	m.Send(0, 0, 1, testMsg{1, 2})
+	m.ClearTo(0)
+	m.BeginSend(0)
+	m.Send(0, 0, 1, testMsg{1, 9}) // worse than last step's 2, still fresh
+	count := 0
+	m.Recv(0, func(testMsg) { count++ })
+	if count != 1 {
+		t.Fatalf("fresh superstep delivered %d messages, want 1", count)
+	}
+}
+
+// TestCoalescingEquivalentReceiverOutcome is the randomized equivalence
+// property behind the metric identity: a receiver applying strict-minimum
+// updates sees the same number of applied updates and the same final value
+// from the coalesced stream as from the full stream.
+func TestCoalescingEquivalentReceiverOutcome(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const nodes = 32
+	for trial := 0; trial < 200; trial++ {
+		co := NewCoalescingMailboxes[testMsg](1, nodes, lessTestMsg)
+		plain := NewMailboxes[testMsg](1)
+		co.BeginSend(0)
+		for k := 0; k < 300; k++ {
+			msg := testMsg{int32(r.Intn(nodes)), float64(r.Intn(40))}
+			co.Send(0, 0, msg.node, msg)
+			plain.Send(0, 0, msg)
+		}
+		apply := func(recv func(int, func(testMsg))) ([]float64, int) {
+			state := make([]float64, nodes)
+			for i := range state {
+				state[i] = 1e18
+			}
+			applied := 0
+			recv(0, func(m testMsg) {
+				if m.val < state[m.node] {
+					state[m.node] = m.val
+					applied++
+				}
+			})
+			return state, applied
+		}
+		coState, coApplied := apply(co.Recv)
+		plState, plApplied := apply(plain.Recv)
+		if coApplied != plApplied {
+			t.Fatalf("trial %d: applied %d coalesced vs %d plain", trial, coApplied, plApplied)
+		}
+		for i := range coState {
+			if coState[i] != plState[i] {
+				t.Fatalf("trial %d: node %d state %v vs %v", trial, i, coState[i], plState[i])
+			}
+		}
+		if co.Count() > plain.Count() {
+			t.Fatalf("trial %d: coalescing grew traffic (%d > %d)", trial, co.Count(), plain.Count())
+		}
+	}
+}
+
+// TestCoalescingPassthrough: passthrough mode forwards every message,
+// byte-identical to plain mailboxes.
+func TestCoalescingPassthrough(t *testing.T) {
+	m := NewCoalescingMailboxes[testMsg](1, 2, lessTestMsg)
+	m.SetPassthrough(true)
+	m.BeginSend(0)
+	for _, v := range []float64{5, 7, 5} {
+		m.Send(0, 0, 1, testMsg{1, v})
+	}
+	if m.Count() != 3 {
+		t.Fatalf("passthrough delivered %d, want 3", m.Count())
+	}
+}

@@ -1,0 +1,157 @@
+package bsp
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRouterMatchesOwner is the property test of the O(1) owner lookup:
+// over a randomized sweep of (n, P) configurations, Router.Owner must agree
+// with the division-based Engine.Owner for every item — including the
+// per==0, per==1 (unit-range) and power-of-two divisor corners of the
+// reciprocal scheme.
+func TestRouterMatchesOwner(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	check := func(n, workers int) {
+		t.Helper()
+		e := New(workers)
+		router := e.Router(n)
+		// Exhaustive for small n, sampled for large.
+		if n <= 4096 {
+			for i := 0; i < n; i++ {
+				if got, want := router.Owner(uint32(i)), e.Owner(n, i); got != want {
+					t.Fatalf("n=%d P=%d i=%d: Router.Owner=%d Owner=%d", n, workers, i, got, want)
+				}
+			}
+			return
+		}
+		for k := 0; k < 2000; k++ {
+			i := r.Intn(n)
+			if got, want := router.Owner(uint32(i)), e.Owner(n, i); got != want {
+				t.Fatalf("n=%d P=%d i=%d: Router.Owner=%d Owner=%d", n, workers, i, got, want)
+			}
+		}
+		// Always probe partition boundaries, the off-by-one hot spots.
+		for w := 0; w < workers; w++ {
+			start, end := e.Partition(n, w)
+			for _, i := range []int{start, end - 1} {
+				if i < 0 || i >= n {
+					continue
+				}
+				if got := router.Owner(uint32(i)); got != w {
+					t.Fatalf("n=%d P=%d boundary i=%d: Router.Owner=%d want %d", n, workers, i, got, w)
+				}
+			}
+		}
+	}
+	// Deterministic corner configurations.
+	for _, n := range []int{1, 2, 3, 7, 15, 16, 17, 64, 100, 1023, 1024, 1025} {
+		for _, workers := range []int{1, 2, 3, 4, 7, 8, 15, 16, 63, 64} {
+			check(n, workers)
+		}
+	}
+	// Randomized sweep, including very large n (reciprocal range stress).
+	for k := 0; k < 200; k++ {
+		n := 1 + r.Intn(1<<20)
+		if k%5 == 0 {
+			n = 1 + r.Intn(1<<30)
+		}
+		check(n, 1+r.Intn(64))
+	}
+}
+
+// TestPoolReuseAcrossSupersteps: thousands of dispatches on one engine must
+// reuse the persistent pool (goroutine count stays flat) and keep producing
+// correct results.
+func TestPoolReuseAcrossSupersteps(t *testing.T) {
+	e := New(8)
+	defer e.Close()
+	const n = 512
+	data := make([]int64, n)
+	e.ParallelFor(n, func(_, start, end int) {}) // warm the pool up
+	base := runtime.NumGoroutine()
+	for step := 0; step < 2000; step++ {
+		e.ParallelFor(n, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				data[i]++
+			}
+		})
+	}
+	if now := runtime.NumGoroutine(); now > base+2 {
+		t.Fatalf("goroutines grew across dispatches: %d -> %d", base, now)
+	}
+	for i, v := range data {
+		if v != 2000 {
+			t.Fatalf("item %d incremented %d times, want 2000", i, v)
+		}
+	}
+}
+
+// TestEngineCloseReleasesPool: Close drains the worker goroutines, and a
+// closed engine still computes correctly via the transient fallback.
+func TestEngineCloseReleasesPool(t *testing.T) {
+	// Let goroutines from earlier tests drain so the baseline is stable.
+	base := runtime.NumGoroutine()
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		time.Sleep(5 * time.Millisecond)
+		if now := runtime.NumGoroutine(); now < base {
+			base = now
+		} else {
+			break
+		}
+	}
+	e := New(6)
+	e.ParallelFor(100, func(_, _, _ int) {})
+	if now := runtime.NumGoroutine(); now < base+5 {
+		t.Fatalf("pool not started: %d goroutines vs %d baseline", now, base)
+	}
+	e.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > base+1 {
+		t.Fatalf("pool did not drain after Close: %d vs %d baseline", now, base)
+	}
+	e.Close() // idempotent
+	var visits atomic.Int64
+	e.ParallelFor(100, func(_, start, end int) { visits.Add(int64(end - start)) })
+	if visits.Load() != 100 {
+		t.Fatalf("closed engine visited %d items, want 100", visits.Load())
+	}
+}
+
+// TestConcurrentEnginesIndependentPools: distinct engines dispatch
+// concurrently without interference — the store runs concurrent jobs on
+// exactly this pattern.
+func TestConcurrentEnginesIndependentPools(t *testing.T) {
+	const n = 4096
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			e := New(4)
+			defer e.Close()
+			sum := make([]int64, n)
+			for round := 0; round < 200; round++ {
+				e.ParallelFor(n, func(_, start, end int) {
+					for i := start; i < end; i++ {
+						sum[i]++
+					}
+				})
+			}
+			for i, v := range sum {
+				if v != 200 {
+					t.Errorf("engine %d: item %d = %d, want 200", k, i, v)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}

@@ -43,10 +43,12 @@ func TestClusterCancelledMidRun(t *testing.T) {
 	// (road networks at τ=2 need many stages).
 	var once sync.Once
 	var cancelledAt time.Time
+	engine := bsp.New(4)
+	defer engine.Close()
 	opts := Options{
 		Tau:    2,
 		Seed:   1,
-		Engine: bsp.New(4),
+		Engine: engine,
 		Progress: func(p Progress) {
 			once.Do(func() {
 				if p.Coverage >= 1 {
@@ -74,6 +76,7 @@ func TestClusterCancelledMidRun(t *testing.T) {
 	if elapsed > 3*time.Second {
 		t.Fatalf("cancellation took %v to land", elapsed)
 	}
+	engine.Close() // release the persistent pool before counting goroutines
 	waitGoroutines(t, baseline)
 }
 

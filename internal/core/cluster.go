@@ -41,11 +41,12 @@ type Clustering struct {
 func (c *Clustering) NumClusters() int { return len(c.Centers) }
 
 // ClusterIndex returns a dense renumbering: for each node, the index of its
-// cluster in Centers. O(n + k log k).
+// cluster in Centers. O(n), using a dense lookup array — centers are node
+// IDs in [0, n), so no map is needed.
 func (c *Clustering) ClusterIndex() []int32 {
-	idx := make(map[int32]int32, len(c.Centers))
+	idx := make([]int32, len(c.Center))
 	for i, ctr := range c.Centers {
-		idx[int32(ctr)] = int32(i)
+		idx[ctr] = int32(i)
 	}
 	out := make([]int32, len(c.Center))
 	for u, ctr := range c.Center {

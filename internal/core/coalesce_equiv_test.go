@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/rng"
+)
+
+// TestClusterCoalescingEquivalence is the acceptance test of sender-side
+// message coalescing: with coalescing on and off, CLUSTER, CLUSTER2 and the
+// weight-oblivious decomposition must produce identical Center/Dist arrays
+// AND identical metric snapshots (rounds, logical messages, updates), at
+// several worker counts.
+func TestClusterCoalescingEquivalence(t *testing.T) {
+	type variant struct {
+		name string
+		run  func(o Options) (*Clustering, error)
+	}
+	variants := []variant{
+		{"cluster", func(o Options) (*Clustering, error) {
+			return Cluster(context.Background(), testGraphCoalesce, o)
+		}},
+		{"cluster2", func(o Options) (*Clustering, error) {
+			c2, err := Cluster2(context.Background(), testGraphCoalesce, o)
+			if err != nil {
+				return nil, err
+			}
+			return c2.Clustering, nil
+		}},
+		{"unweighted", func(o Options) (*Clustering, error) {
+			return ClusterUnweighted(context.Background(), testGraphCoalesce, o)
+		}},
+	}
+	defer func() { coalesceMessages = true }()
+	for _, v := range variants {
+		for _, workers := range []int{1, 3, 8} {
+			run := func(coalesce bool) *Clustering {
+				coalesceMessages = coalesce
+				e := bsp.New(workers)
+				defer e.Close()
+				cl, err := v.run(Options{Tau: 8, Seed: 5, Engine: e})
+				if err != nil {
+					t.Fatalf("%s workers=%d coalesce=%t: %v", v.name, workers, coalesce, err)
+				}
+				return cl
+			}
+			on := run(true)
+			off := run(false)
+			if on.Metrics != off.Metrics {
+				t.Fatalf("%s workers=%d: metrics differ: coalesced %+v vs uncoalesced %+v",
+					v.name, workers, on.Metrics, off.Metrics)
+			}
+			for u := range on.Center {
+				if on.Center[u] != off.Center[u] {
+					t.Fatalf("%s workers=%d: center[%d] %d vs %d",
+						v.name, workers, u, on.Center[u], off.Center[u])
+				}
+				if on.Dist[u] != off.Dist[u] {
+					t.Fatalf("%s workers=%d: dist[%d] %v vs %v",
+						v.name, workers, u, on.Dist[u], off.Dist[u])
+				}
+			}
+			if on.Radius != off.Radius || on.Stages != off.Stages {
+				t.Fatalf("%s workers=%d: radius/stages differ", v.name, workers)
+			}
+		}
+	}
+}
+
+// testGraphCoalesce is the shared instance of the equivalence test: a road
+// network is the topology where Δ-growing generates the densest bursts of
+// competing candidates per target.
+var testGraphCoalesce = gen.RoadNetwork(gen.DefaultRoadNetworkOptions(24), rng.New(123))

@@ -44,13 +44,17 @@ func WeightOblivious(scale Scale, seed uint64) []ObliviousRow {
 	for _, ng := range graphs {
 		lb, _ := validate.LowerBound(ng.G, 0, 4)
 		tau := core.TauForQuotientTarget(ng.G.NumNodes(), 2000)
+		eW := bsp.New(0)
 		w := mustDiam(ng.G, core.DiamOptions{
-			Options: core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
+			Options: core.Options{Tau: tau, Seed: seed, Engine: eW},
 		})
+		eW.Close()
+		eO := bsp.New(0)
 		o := mustDiam(ng.G, core.DiamOptions{
-			Options:         core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
+			Options:         core.Options{Tau: tau, Seed: seed, Engine: eO},
 			WeightOblivious: true,
 		})
+		eO.Close()
 		rows = append(rows, ObliviousRow{
 			Graph:            ng.Name,
 			RatioWeighted:    w.Estimate / lb,
@@ -100,9 +104,11 @@ func Corollary1(scale Scale, seed uint64) []Corollary1Point {
 	taus := []int{2, 8, 32, 128, 512}
 	var points []Corollary1Point
 	for _, tau := range taus {
+		e := bsp.New(0)
 		res := mustDiam(g, core.DiamOptions{
-			Options: core.Options{Tau: tau, Seed: seed, Engine: bsp.New(0)},
+			Options: core.Options{Tau: tau, Seed: seed, Engine: e},
 		})
+		e.Close()
 		points = append(points, Corollary1Point{tau, res.Metrics.Rounds, res.Estimate / lb})
 	}
 	return points

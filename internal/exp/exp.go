@@ -153,6 +153,7 @@ func Compare(ng NamedGraph, opts CompareOptions) Row {
 
 	// CL-DIAM.
 	eCL := bsp.New(o.Workers)
+	defer eCL.Close()
 	tau := core.TauForQuotientTarget(g.NumNodes(), o.QuotientTarget)
 	res := mustDiam(g, core.DiamOptions{
 		Options: core.Options{Tau: tau, Seed: o.Seed, Engine: eCL},
@@ -173,6 +174,7 @@ func Compare(ng NamedGraph, opts CompareOptions) Row {
 	src := graph.NodeID(g.NumNodes() / 2)
 	delta := sssp.TuneDelta(g, src, cands)
 	eDS := bsp.New(o.Workers)
+	defer eDS.Close()
 	start := time.Now()
 	ub, ds, err := sssp.DiameterUpperBound(context.Background(), g, src, delta, eDS)
 	if err != nil {

@@ -44,6 +44,7 @@ func Table3(scale Scale, workers int, seed uint64) []Table3Row {
 		res := mustDiam(ng.G, core.DiamOptions{
 			Options: core.Options{Tau: tau, Seed: seed, Engine: e},
 		})
+		e.Close()
 		rows = append(rows, Table3Row{ng.Name, ng.PaperName, ng.G.NumNodes(), ng.G.NumEdges(),
 			res.WallTime, res.Estimate, res.Metrics.Rounds})
 	}
@@ -143,11 +144,15 @@ func DeltaSens(scale Scale, seed uint64) []DeltaSensRow {
 		side, pHeavy = 96, 0.2
 	}
 	g := gen.BimodalWeights(gen.Mesh(side), 1e-6, 1, pHeavy, r)
-	exact := validate.ExactDiameter(g, bsp.New(0))
+	eEx := bsp.New(0)
+	exact := validate.ExactDiameter(g, eEx)
+	eEx.Close()
 	tau := core.TauForQuotientTarget(g.NumNodes(), 2000)
 	run := func(name string, init core.DeltaInit, fixed float64) DeltaSensRow {
+		e := bsp.New(0)
+		defer e.Close()
 		res := mustDiam(g, core.DiamOptions{
-			Options: core.Options{Tau: tau, Seed: seed, InitialDelta: init, FixedDelta: fixed},
+			Options: core.Options{Tau: tau, Seed: seed, InitialDelta: init, FixedDelta: fixed, Engine: e},
 		})
 		return DeltaSensRow{name, res.Estimate / exact, res.Estimate, res.Metrics.Rounds}
 	}
@@ -191,8 +196,10 @@ func StepCap(scale Scale, seed uint64) []StepCapRow {
 	// Small τ makes clusters deep (large ℓ_R) so the cap has bite.
 	tau := 8
 	run := func(name string, cap int) StepCapRow {
+		e := bsp.New(0)
+		defer e.Close()
 		res := mustDiam(g, core.DiamOptions{
-			Options: core.Options{Tau: tau, Seed: seed, StepCap: cap},
+			Options: core.Options{Tau: tau, Seed: seed, StepCap: cap, Engine: e},
 		})
 		return StepCapRow{name, res.Estimate / lb, res.Metrics.Rounds,
 			res.Clustering.GrowingSteps, res.Clustering.MaxPartialGrowthSteps}

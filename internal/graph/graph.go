@@ -16,6 +16,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -27,6 +28,7 @@ type Graph struct {
 	offsets []int64   // len n+1; adjacency of u is [offsets[u], offsets[u+1])
 	targets []NodeID  // len 2m
 	weights []float64 // len 2m, parallel to targets
+	stats   Stats     // summary statistics, computed once in Build
 }
 
 // NumNodes returns the number of nodes n.
@@ -89,8 +91,13 @@ type Stats struct {
 	MaxDegree int
 }
 
-// Stats computes summary statistics in a single pass.
-func (g *Graph) Stats() Stats {
+// Stats returns the summary statistics computed once during Build: callers
+// on algorithm hot paths (Δ bucket sizing, Δ suggestion, futility bounds)
+// read them in O(1) instead of rescanning all 2m edge slots.
+func (g *Graph) Stats() Stats { return g.stats }
+
+// computeStats fills the cached statistics; called once by Build.
+func (g *Graph) computeStats() {
 	s := Stats{
 		NumNodes:  g.NumNodes(),
 		NumEdges:  g.NumEdges(),
@@ -99,7 +106,8 @@ func (g *Graph) Stats() Stats {
 	}
 	if len(g.weights) == 0 {
 		s.MinWeight, s.MaxWeight = 0, 0
-		return s
+		g.stats = s
+		return
 	}
 	sum := 0.0
 	for _, w := range g.weights {
@@ -117,43 +125,29 @@ func (g *Graph) Stats() Stats {
 			s.MaxDegree = d
 		}
 	}
-	return s
+	g.stats = s
 }
 
-// MinEdgeWeight returns the minimum edge weight, or +Inf for edgeless graphs.
+// MinEdgeWeight returns the minimum edge weight, or +Inf for edgeless
+// graphs. O(1): served from the statistics cached at construction.
 func (g *Graph) MinEdgeWeight() float64 {
-	min := math.Inf(1)
-	for _, w := range g.weights {
-		if w < min {
-			min = w
-		}
+	if len(g.weights) == 0 {
+		return math.Inf(1)
 	}
-	return min
+	return g.stats.MinWeight
 }
 
 // MaxEdgeWeight returns the maximum edge weight, or 0 for edgeless graphs.
-func (g *Graph) MaxEdgeWeight() float64 {
-	max := 0.0
-	for _, w := range g.weights {
-		if w > max {
-			max = w
-		}
-	}
-	return max
-}
+// O(1): served from the statistics cached at construction.
+func (g *Graph) MaxEdgeWeight() float64 { return g.stats.MaxWeight }
 
 // AvgEdgeWeight returns the mean edge weight, or 0 for edgeless graphs.
 // This is the paper's recommended initial guess for the Δ parameter.
-func (g *Graph) AvgEdgeWeight() float64 {
-	if len(g.weights) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, w := range g.weights {
-		sum += w
-	}
-	return sum / float64(len(g.weights))
-}
+// O(1): served from the statistics cached at construction.
+func (g *Graph) AvgEdgeWeight() float64 { return g.stats.AvgWeight }
+
+// MaxDegree returns the maximum node degree, 0 for edgeless graphs. O(1).
+func (g *Graph) MaxDegree() int { return g.stats.MaxDegree }
 
 // ReweightUniform returns a copy of g whose edge weights are drawn i.i.d.
 // from (0,1] using draw, which is called once per undirected edge. Both
@@ -213,14 +207,28 @@ func (b *Builder) AddEdge(u, v NodeID, w float64) {
 // minimum weight. The builder can be reused afterwards (it is reset).
 func (b *Builder) Build() *Graph {
 	recs := b.edges
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].u != recs[j].u {
-			return recs[i].u < recs[j].u
+	// slices.SortFunc over the concrete record type: pdqsort without the
+	// interface boxing and reflection-based swaps of sort.Slice.
+	slices.SortFunc(recs, func(a, b edgeRec) int {
+		if a.u != b.u {
+			if a.u < b.u {
+				return -1
+			}
+			return 1
 		}
-		if recs[i].v != recs[j].v {
-			return recs[i].v < recs[j].v
+		if a.v != b.v {
+			if a.v < b.v {
+				return -1
+			}
+			return 1
 		}
-		return recs[i].w < recs[j].w
+		switch {
+		case a.w < b.w:
+			return -1
+		case a.w > b.w:
+			return 1
+		}
+		return 0
 	})
 	// Deduplicate, keeping the minimum-weight record (first after sort).
 	dedup := recs[:0]
@@ -250,6 +258,7 @@ func (b *Builder) Build() *Graph {
 		cursor[e.u]++
 	}
 	b.edges = b.edges[:0]
+	g.computeStats()
 	return g
 }
 
@@ -268,21 +277,41 @@ func FromEdges(n int, us, vs []NodeID, ws []float64) *Graph {
 // Subgraph returns the induced subgraph on keep (a set of node IDs), along
 // with the mapping from new IDs to original IDs. Nodes are renumbered
 // densely in increasing original-ID order.
+//
+// When the kept set is a substantial fraction of the graph (the common case:
+// extracting the largest connected component) the renumbering uses a dense
+// array instead of a map, turning the per-edge lookup on the projection hot
+// loop into a single indexed load.
 func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
-	sorted := append([]NodeID(nil), keep...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	// Remove duplicates.
-	uniq := sorted[:0]
-	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
-			uniq = append(uniq, v)
+	uniq := slices.Clone(keep)
+	slices.Sort(uniq)
+	uniq = slices.Compact(uniq)
+	n := g.NumNodes()
+	b := NewBuilder(len(uniq), 0)
+	if 8*len(uniq) >= n {
+		// Dense renumbering: -1 marks dropped nodes.
+		remap := make([]int64, n)
+		for i := range remap {
+			remap[i] = -1
 		}
+		for i, orig := range uniq {
+			remap[orig] = int64(i)
+		}
+		for _, orig := range uniq {
+			nu := NodeID(remap[orig])
+			ts, ws := g.Neighbors(orig)
+			for i, v := range ts {
+				if nv := remap[v]; nv >= 0 && nu < NodeID(nv) {
+					b.AddEdge(nu, NodeID(nv), ws[i])
+				}
+			}
+		}
+		return b.Build(), uniq
 	}
 	remap := make(map[NodeID]NodeID, len(uniq))
 	for i, orig := range uniq {
 		remap[orig] = NodeID(i)
 	}
-	b := NewBuilder(len(uniq), 0)
 	for _, orig := range uniq {
 		nu := remap[orig]
 		ts, ws := g.Neighbors(orig)

@@ -1,0 +1,69 @@
+package pq
+
+import (
+	"testing"
+
+	"graphdiam/internal/rng"
+)
+
+// TestFlatHeapMatchesQuadHeap drives FlatHeap and QuadHeap with the same
+// randomized push/decrease/pop mix and requires identical pop sequences of
+// priorities (ids may differ on ties; priorities may not).
+func TestFlatHeapMatchesQuadHeap(t *testing.T) {
+	const n = 200
+	r := rng.New(31)
+	fh := NewFlatHeap(n)
+	qh := NewQuadHeap(n)
+	for round := 0; round < 5000; round++ {
+		switch {
+		case fh.Len() == 0 || r.Float64() < 0.55:
+			id := int32(r.Intn(n))
+			p := r.Float64()
+			fh.Push(id, p)
+			qh.Push(int(id), p) // Push doubles as decrease-key in both
+		default:
+			fid, fp := fh.Pop()
+			qid, qp := qh.Pop()
+			if fp != qp {
+				t.Fatalf("round %d: flat popped p=%v, quad popped p=%v", round, fp, qp)
+			}
+			_ = fid
+			_ = qid
+		}
+		if fh.Len() != qh.Len() {
+			t.Fatalf("round %d: lengths diverged %d vs %d", round, fh.Len(), qh.Len())
+		}
+	}
+	for fh.Len() > 0 {
+		_, fp := fh.Pop()
+		_, qp := qh.Pop()
+		if fp != qp {
+			t.Fatalf("drain: %v vs %v", fp, qp)
+		}
+	}
+}
+
+// TestFlatHeapDecreaseKeyAndReset: pushing a smaller priority for a present
+// id lowers it (larger is ignored), and Reset empties retaining validity.
+func TestFlatHeapDecreaseKeyAndReset(t *testing.T) {
+	h := NewFlatHeap(10)
+	h.Push(3, 5.0)
+	h.Push(4, 4.0)
+	h.Push(3, 9.0) // not lower: ignored
+	h.Push(3, 1.0) // decrease-key
+	if !h.Contains(3) || h.Contains(7) {
+		t.Fatal("Contains wrong")
+	}
+	id, p := h.Pop()
+	if id != 3 || p != 1.0 {
+		t.Fatalf("Pop = (%d, %v), want (3, 1)", id, p)
+	}
+	h.Reset()
+	if h.Len() != 0 || h.Contains(4) {
+		t.Fatal("Reset did not empty the heap")
+	}
+	h.Push(4, 2.0)
+	if id, p := h.Pop(); id != 4 || p != 2.0 {
+		t.Fatalf("post-Reset Pop = (%d, %v)", id, p)
+	}
+}

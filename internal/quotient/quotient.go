@@ -11,7 +11,7 @@
 package quotient
 
 import (
-	"sort"
+	"slices"
 
 	"graphdiam/internal/bsp"
 	"graphdiam/internal/cc"
@@ -90,7 +90,7 @@ func Build(g *graph.Graph, center []int32, dist []float64, e *bsp.Engine) (*grap
 	for k := range merged {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	for _, k := range keys {
 		b.AddEdge(graph.NodeID(k>>32), graph.NodeID(k&0xffffffff), merged[k])
 	}

@@ -34,7 +34,8 @@ func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bs
 	nextFront := make([][]int32, P)
 	queued := make([]bool, n)
 
-	srcOwner := e.Owner(n, int(src))
+	route := e.Router(n)
+	srcOwner := route.Owner(src)
 	dist[src] = 0
 	frontiers[srcOwner] = append(frontiers[srcOwner], int32(src))
 
@@ -58,7 +59,7 @@ func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bs
 				du := dist[u]
 				ts, ws := g.Neighbors(graph.NodeID(u))
 				for i, v := range ts {
-					mail.Send(w, e.Owner(n, int(v)), relaxReq{v, du + ws[i]})
+					mail.Send(w, route.Owner(v), relaxReq{v, du + ws[i]})
 					sent++
 				}
 			}

@@ -1,0 +1,52 @@
+package sssp
+
+import (
+	"context"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// TestDeltaSteppingCoalescingEquivalence: with relaxation coalescing on and
+// off, parallel Δ-stepping must produce identical distances and identical
+// cost counters (rounds, logical relaxations, updates), at several worker
+// counts.
+func TestDeltaSteppingCoalescingEquivalence(t *testing.T) {
+	r := rng.New(21)
+	graphs := map[string]*graph.Graph{
+		"road": gen.RoadNetwork(gen.DefaultRoadNetworkOptions(20), r.Split()),
+		"rmat": gen.UniformWeights(gen.RMatDefault(8, r.Split()), r.Split()),
+	}
+	defer func() { coalesceRelaxations = true }()
+	for name, g := range graphs {
+		src := graph.NodeID(g.NumNodes() / 3)
+		delta := SuggestDelta(g)
+		for _, workers := range []int{1, 4, 8} {
+			run := func(coalesce bool) DeltaResult {
+				coalesceRelaxations = coalesce
+				e := bsp.New(workers)
+				defer e.Close()
+				res, err := DeltaStepping(context.Background(), g, src, delta, e)
+				if err != nil {
+					t.Fatalf("%s workers=%d coalesce=%t: %v", name, workers, coalesce, err)
+				}
+				return res
+			}
+			on := run(true)
+			off := run(false)
+			if on.Rounds != off.Rounds || on.Relaxations != off.Relaxations || on.Updates != off.Updates {
+				t.Fatalf("%s workers=%d: counters differ: coalesced {r=%d m=%d u=%d} vs {r=%d m=%d u=%d}",
+					name, workers, on.Rounds, on.Relaxations, on.Updates,
+					off.Rounds, off.Relaxations, off.Updates)
+			}
+			for v := range on.Dist {
+				if on.Dist[v] != off.Dist[v] {
+					t.Fatalf("%s workers=%d: dist[%d] %v vs %v", name, workers, v, on.Dist[v], off.Dist[v])
+				}
+			}
+		}
+	}
+}

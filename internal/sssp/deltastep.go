@@ -127,6 +127,15 @@ type relaxReq struct {
 	dist float64
 }
 
+// coalesceRelaxations gates sender-side coalescing of relaxation requests;
+// the equivalence tests flip it to prove coalesced and uncoalesced runs
+// produce identical distances and identical metric snapshots.
+var coalesceRelaxations = true
+
+// lessRelax orders relaxation candidates: receivers apply strict distance
+// improvements, so only strictly smaller candidates are worth sending.
+func lessRelax(a, b relaxReq) bool { return a.dist < b.dist }
+
 // DeltaStepping runs parallel Δ-stepping from src on the BSP engine. Each
 // worker owns a contiguous node partition with a local bucket structure.
 // A light phase has two halves separated by a barrier: drained nodes relax
@@ -164,8 +173,10 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 		inSettled[w] = make([]bool, end-start)
 	})
 
-	mail := bsp.NewMailboxes[relaxReq](P)
-	srcOwner := e.Owner(n, int(src))
+	mail := bsp.NewCoalescingMailboxes[relaxReq](P, n, lessRelax)
+	mail.SetPassthrough(!coalesceRelaxations)
+	route := e.Router(n) // O(1) owner lookup, hoisted out of the hot loop
+	srcOwner := route.Owner(src)
 	dist[src] = 0
 	queues[srcOwner].Update(int(src)-starts[srcOwner], 0)
 
@@ -175,6 +186,7 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 	relaxPhase := func(lists [][]int32, light bool) {
 		e.ParallelFor(n, func(w, _, _ int) {
 			var sent int64
+			mail.BeginSend(w)
 			for _, u := range lists[w] {
 				du := dist[u] // owned by w: safe
 				ts, ws := g.Neighbors(graph.NodeID(u))
@@ -183,12 +195,12 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 					if (wt <= delta) != light {
 						continue
 					}
-					mail.Send(w, e.Owner(n, int(v)), relaxReq{v, du + wt})
+					mail.Send(w, route.Owner(v), int32(v), relaxReq{v, du + wt})
 					sent++
 				}
 			}
 			if sent > 0 {
-				e.Metrics().AddMessages(sent)
+				e.Metrics().AddMessages(sent) // logical relaxations, pre-coalescing
 			}
 		})
 		e.ParallelFor(n, func(w, start, _ int) {

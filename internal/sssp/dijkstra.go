@@ -22,30 +22,76 @@ import (
 var Inf = math.Inf(1)
 
 // Dijkstra computes exact shortest-path distances from src. Unreachable
-// nodes get +Inf. O((n+m) log n) with the indexed 4-ary heap.
+// nodes get +Inf. O((n+m) log n) with an indexed 4-ary heap of inline
+// (priority, id) entries. Callers running many sources over the same graph
+// (eccentricity sweeps, all-pairs validation) should allocate a Scratch
+// once and use Scratch.Dijkstra to reuse the distance and heap buffers
+// across sources.
 func Dijkstra(g *graph.Graph, src graph.NodeID) []float64 {
+	sc := NewScratch(g.NumNodes())
+	dist := sc.Dijkstra(g, src)
+	sc.dist = nil // the caller keeps the slice; don't alias a live scratch
+	return dist
+}
+
+// Scratch holds the reusable buffers of repeated Dijkstra runs over graphs
+// of (up to) a fixed node count: the distance array and the lazy heap. The
+// diameter sweeps (quotient diameter, ExactDiameter, LowerBound) run one
+// full Dijkstra per source; without a scratch every source pays an O(n)
+// allocation pair plus cold caches. A Scratch must not be shared between
+// goroutines; sweeps allocate one per worker.
+type Scratch struct {
+	dist  []float64
+	heap  *pq.FlatHeap
+	heapN int // node capacity the heap was built for
+}
+
+// NewScratch returns a scratch for graphs with up to n nodes.
+func NewScratch(n int) *Scratch {
+	return &Scratch{dist: make([]float64, n), heap: pq.NewFlatHeap(n), heapN: n}
+}
+
+// Dijkstra computes exact shortest-path distances from src into the
+// scratch's distance buffer and returns it. The returned slice is valid
+// until the next call on this scratch. Results are identical to the
+// package-level Dijkstra.
+func (sc *Scratch) Dijkstra(g *graph.Graph, src graph.NodeID) []float64 {
 	n := g.NumNodes()
-	dist := make([]float64, n)
+	if len(sc.dist) < n {
+		sc.dist = make([]float64, n)
+	}
+	dist := sc.dist[:n]
+	sc.DijkstraInto(g, src, dist)
+	return dist
+}
+
+// DijkstraInto computes exact shortest-path distances from src into dist
+// (which must have length g.NumNodes()), reusing the scratch's heap. Used
+// by sweeps that keep several distance arrays alive at once (the bounding
+// diameter computation) while sharing heap storage.
+func (sc *Scratch) DijkstraInto(g *graph.Graph, src graph.NodeID, dist []float64) {
+	n := g.NumNodes()
 	for i := range dist {
 		dist[i] = Inf
 	}
-	h := pq.NewQuadHeap(n)
+	if sc.heap == nil || sc.heapN < n {
+		sc.heap = pq.NewFlatHeap(n)
+		sc.heapN = n
+	}
+	h := sc.heap
+	h.Reset()
 	dist[src] = 0
-	h.Push(int(src), 0)
+	h.Push(int32(src), 0)
 	for h.Len() > 0 {
 		u, du := h.Pop()
-		if du > dist[u] {
-			continue
-		}
 		ts, ws := g.Neighbors(graph.NodeID(u))
 		for i, v := range ts {
 			if nd := du + ws[i]; nd < dist[v] {
 				dist[v] = nd
-				h.Push(int(v), nd)
+				h.Push(int32(v), nd)
 			}
 		}
 	}
-	return dist
 }
 
 // DijkstraTree computes distances and the shortest-path tree parent of each
@@ -58,10 +104,10 @@ func DijkstraTree(g *graph.Graph, src graph.NodeID) (dist []float64, parent []in
 		dist[i] = Inf
 		parent[i] = -1
 	}
-	h := pq.NewQuadHeap(n)
+	h := pq.NewFlatHeap(n)
 	dist[src] = 0
 	parent[src] = int32(src)
-	h.Push(int(src), 0)
+	h.Push(int32(src), 0)
 	for h.Len() > 0 {
 		u, du := h.Pop()
 		if du > dist[u] {
@@ -72,7 +118,7 @@ func DijkstraTree(g *graph.Graph, src graph.NodeID) (dist []float64, parent []in
 			if nd := du + ws[i]; nd < dist[v] {
 				dist[v] = nd
 				parent[v] = int32(u)
-				h.Push(int(v), nd)
+				h.Push(int32(v), nd)
 			}
 		}
 	}

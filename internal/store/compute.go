@@ -150,6 +150,7 @@ func (s *Store) runDecompose(ctx context.Context, name string, g *graph.Graph, p
 	if err != nil {
 		return DecomposeResult{}, err
 	}
+	defer o.Engine.Close() // release the persistent worker pool with the run
 	o.Progress = progress
 	start := time.Now()
 	var cl *core.Clustering
@@ -211,6 +212,7 @@ func (s *Store) runDiameter(ctx context.Context, name string, g *graph.Graph, p 
 	if err != nil {
 		return DiameterResult{}, err
 	}
+	defer o.Engine.Close() // release the persistent worker pool with the run
 	o.Progress = progress
 	d, err := core.ApproxDiameter(ctx, g, core.DiamOptions{
 		Options:         o,

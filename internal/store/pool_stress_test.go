@@ -1,0 +1,65 @@
+package store
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphdiam/internal/gen"
+)
+
+// TestConcurrentJobsDistinctEngines is the pool-reuse stress test: two (and
+// more) concurrent jobs with distinct parameters run on distinct engines,
+// each with its own persistent worker pool, and every pool is released when
+// its run finishes — the goroutine count returns to baseline.
+func TestConcurrentJobsDistinctEngines(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	for _, name := range []string{"g1", "g2"} {
+		g, err := gen.FromSpec("road:24", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddGraph(name, g, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Distinct (graph, params) pairs so no two requests share a flight:
+	// every run gets its own engine and pool.
+	type req struct {
+		graph string
+		p     Params
+	}
+	var reqs []req
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, req{
+			graph: []string{"g1", "g2"}[i%2],
+			p:     Params{Tau: 4 + i, Seed: uint64(i), Workers: 2 + i%3},
+		})
+	}
+	errs := make(chan error, len(reqs))
+	for _, rq := range reqs {
+		go func(rq req) {
+			_, _, err := s.Decompose(context.Background(), rq.graph, rq.p)
+			errs <- err
+		}(rq)
+	}
+	for range reqs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Engine pools are closed when each run returns; allow scheduler slack.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("worker pools leaked: %d goroutines vs %d baseline",
+		runtime.NumGoroutine(), baseline)
+}

@@ -1,0 +1,76 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// TestExactDiameterMatchesAllPairs cross-validates the bounding diameter
+// computation against the quadratic all-pairs reference on a spread of
+// topologies and weight distributions large enough to exercise the pruning
+// path (n > 2·exactBatch).
+func TestExactDiameterMatchesAllPairs(t *testing.T) {
+	r := rng.New(99)
+	graphs := map[string]*graph.Graph{
+		"mesh-uniform": gen.UniformWeights(gen.Mesh(12), r.Split()),
+		"mesh-bimodal": gen.BimodalWeights(gen.Mesh(12), 1e-6, 1, 0.3, r.Split()),
+		"road":         gen.RoadNetwork(gen.DefaultRoadNetworkOptions(12), r.Split()),
+		"rmat":         gen.UniformWeights(gen.RMatDefault(7, r.Split()), r.Split()),
+		"path":         gen.UniformWeights(gen.Path(150), r.Split()),
+		"exp-weights":  gen.ExponentialWeights(gen.Mesh(10), 1, r.Split()),
+		"star":         gen.UniformWeights(gen.Star(80), r.Split()),
+		"cycle":        gen.UniformWeights(gen.Cycle(123), r.Split()),
+	}
+	for name, g := range graphs {
+		e := bsp.New(4)
+		got := ExactDiameter(g, e)
+		want := exactDiameterAllPairs(g, e)
+		e.Close()
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%s: bounding diameter %v != all-pairs %v", name, got, want)
+		}
+	}
+}
+
+// TestExactDiameterBoundsDisconnected: the convention is the largest
+// within-component distance; the bounding computation (large-n path) must
+// visit every component.
+func TestExactDiameterBoundsDisconnected(t *testing.T) {
+	// Two paths of very different lengths plus an isolated node.
+	b := graph.NewBuilder(100, 0)
+	for i := 0; i < 60; i++ { // path 0..60, diameter 60
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	for i := 62; i < 98; i++ { // path 62..98, diameter 36
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g := b.Build()
+	e := bsp.New(3)
+	defer e.Close()
+	if d := ExactDiameter(g, e); d != 60 {
+		t.Fatalf("disconnected diameter = %v, want 60", d)
+	}
+}
+
+// TestExactDiameterBoundsWorkerInvariance: the fixed batch schedule makes
+// the result bit-identical across engine worker counts on the bounding
+// (large-n) path.
+func TestExactDiameterBoundsWorkerInvariance(t *testing.T) {
+	g := gen.BimodalWeights(gen.Mesh(16), 1e-6, 1, 0.25, rng.New(7))
+	var first float64
+	for i, w := range []int{1, 3, 8} {
+		e := bsp.New(w)
+		d := ExactDiameter(g, e)
+		e.Close()
+		if i == 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("workers=%d: diameter %v != %v at workers=1", w, d, first)
+		}
+	}
+}
