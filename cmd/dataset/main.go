@@ -1,0 +1,154 @@
+// Command dataset manages a graphdiam dataset catalog offline — the same
+// content-addressed snapshot store graphdiamd serves from via -data-dir
+// (see internal/dataset). Typical use is bulk-ingesting road networks on
+// a build host, then pointing the daemon at the finished directory.
+//
+// Usage:
+//
+//	dataset -dir DIR [-budget SIZE] <command> [args]
+//
+//	ingest -name NAME [-format auto] [-source TEXT] FILE
+//	        parse FILE (edgelist | dimacs | metis | binary, gzip
+//	        transparent, format sniffed by default) into a snapshot
+//	ls      list cataloged datasets
+//	info NAME
+//	        print one dataset's record
+//	rm NAME
+//	        drop a dataset (snapshot file removed once unreferenced)
+//	verify [NAME...]
+//	        deep-check snapshots: payload SHA-256, CSR invariants,
+//	        cached statistics; all datasets when no names given
+//
+// Exit status is non-zero on any failure, including a failed verify.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphdiam/internal/dataset"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "", "catalog directory (required)")
+		budget = flag.String("budget", "", "disk budget, e.g. 512M or 8G (empty = unlimited)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dataset -dir DIR [-budget SIZE] {ingest|ls|info|rm|verify} [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	budgetBytes, err := dataset.ParseByteSize(*budget)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cat, err := dataset.Open(*dir, dataset.Options{ByteBudget: budgetBytes})
+	if err != nil {
+		fatal("open catalog: %v", err)
+	}
+	defer cat.Close()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "ingest":
+		cmdIngest(cat, args)
+	case "ls":
+		cmdLs(cat, args)
+	case "info":
+		cmdInfo(cat, args)
+	case "rm":
+		cmdRm(cat, args)
+	case "verify":
+		cmdVerify(cat, args)
+	default:
+		fatal("unknown command %q (want ingest, ls, info, rm, or verify)", cmd)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dataset: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func cmdIngest(cat *dataset.Catalog, args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name (required)")
+	format := fs.String("format", dataset.FormatAuto, "input format: auto|edgelist|dimacs|metis|binary")
+	source := fs.String("source", "", "provenance note stored in the manifest")
+	fs.Parse(args)
+	if *name == "" || fs.NArg() != 1 {
+		fatal("usage: ingest -name NAME [-format F] [-source S] FILE")
+	}
+	in, err := cat.IngestFile(*name, fs.Arg(0), *format, *source)
+	if err != nil {
+		fatal("ingest: %v", err)
+	}
+	fmt.Printf("ingested %s: n=%d m=%d format=%s sha256=%s (%d bytes)\n",
+		in.Name, in.NumNodes, in.NumEdges, in.Format, in.SHA256[:12], in.Bytes)
+}
+
+func cmdLs(cat *dataset.Catalog, args []string) {
+	if len(args) != 0 {
+		fatal("usage: ls")
+	}
+	list := cat.List()
+	if len(list) == 0 {
+		fmt.Println("(empty catalog)")
+		return
+	}
+	fmt.Printf("%-24s %12s %12s %12s  %s\n", "NAME", "NODES", "EDGES", "BYTES", "SHA256")
+	for _, in := range list {
+		fmt.Printf("%-24s %12d %12d %12d  %s\n", in.Name, in.NumNodes, in.NumEdges, in.Bytes, in.SHA256[:12])
+	}
+	fmt.Printf("total unique bytes: %d\n", cat.TotalBytes())
+}
+
+func cmdInfo(cat *dataset.Catalog, args []string) {
+	if len(args) != 1 {
+		fatal("usage: info NAME")
+	}
+	in, err := cat.Info(args[0])
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("name:       %s\nsha256:     %s\nbytes:      %d\nnodes:      %d\nedges:      %d\nformat:     %s\nsource:     %s\ncreated:    %s\nlast used:  %s\n",
+		in.Name, in.SHA256, in.Bytes, in.NumNodes, in.NumEdges, in.Format, in.Source,
+		in.CreatedAt.Format("2006-01-02 15:04:05"), in.LastUsedAt.Format("2006-01-02 15:04:05"))
+}
+
+func cmdRm(cat *dataset.Catalog, args []string) {
+	if len(args) != 1 {
+		fatal("usage: rm NAME")
+	}
+	if err := cat.Remove(args[0]); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("removed %s\n", args[0])
+}
+
+func cmdVerify(cat *dataset.Catalog, args []string) {
+	names := args
+	if len(names) == 0 {
+		for _, in := range cat.List() {
+			names = append(names, in.Name)
+		}
+	}
+	failed := 0
+	for _, name := range names {
+		if in, err := cat.Verify(name); err != nil {
+			fmt.Printf("FAIL %s: %v\n", name, err)
+			failed++
+		} else {
+			fmt.Printf("ok   %s (n=%d m=%d sha256=%s)\n", name, in.NumNodes, in.NumEdges, in.SHA256[:12])
+		}
+	}
+	if failed > 0 {
+		fatal("%d of %d datasets failed verification", failed, len(names))
+	}
+}

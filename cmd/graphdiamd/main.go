@@ -6,6 +6,8 @@
 //
 //	graphdiamd -addr :8080
 //	graphdiamd -addr :8080 -preload usa=road:256 -preload social=rmat:16
+//	graphdiamd -addr :8080 -data-dir /var/lib/graphdiam \
+//	    -dataset-budget 8G -preload usa=file:/data/USA-road-d.NY.gr.gz
 //
 // Clients register graphs (generated from a spec or uploaded inline) and
 // query decompositions and diameter approximations; identical queries are
@@ -16,6 +18,21 @@
 // streaming, and cancellation (see internal/server). The process drains
 // in-flight requests, cancels outstanding jobs, and exits cleanly on
 // SIGINT or SIGTERM.
+//
+// With -data-dir the daemon opens a persistent dataset catalog there
+// (see internal/dataset): graphs ingested over POST /v2/datasets — or via
+// file: preloads — are stored as content-addressed mmap-ready CSR
+// snapshots that survive restarts, and any query naming a cataloged graph
+// faults it in transparently. -dataset-budget bounds the catalog's disk
+// footprint (suffixes K/M/G/T, powers of 1024); least-recently-used
+// datasets are evicted when an ingest would exceed it.
+//
+// -preload accepts two value shapes: a generator spec ("usa=road:256",
+// see gen.FromSpec) or "name=file:/path" naming a graph file in any
+// supported format (edgelist, DIMACS, METIS, binary; gzip transparent;
+// format sniffed). With a catalog configured, file preloads are ingested
+// (deduplicated by content, so repeated boots cost nothing) and served
+// from the snapshot; without one they are parsed straight into memory.
 package main
 
 import (
@@ -31,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphdiam/internal/dataset"
 	"graphdiam/internal/gen"
 	"graphdiam/internal/server"
 	"graphdiam/internal/store"
@@ -42,48 +60,100 @@ type preloads []string
 func (p *preloads) String() string     { return strings.Join(*p, ",") }
 func (p *preloads) Set(v string) error { *p = append(*p, v); return nil }
 
+// preloadGraph registers one -preload value: a "file:" path (ingested
+// into the catalog when one is configured, parsed directly otherwise) or
+// a generator spec.
+func preloadGraph(st *store.Store, cat *dataset.Catalog, name, spec string, seed uint64) (store.GraphInfo, error) {
+	if path, ok := strings.CutPrefix(spec, "file:"); ok {
+		if cat != nil {
+			// Content addressing makes this idempotent across restarts:
+			// an unchanged file hashes to the snapshot already on disk.
+			if _, err := cat.IngestFile(name, path, dataset.FormatAuto, "preload "+path); err != nil {
+				return store.GraphInfo{}, err
+			}
+			return st.LoadDataset(context.Background(), name)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return store.GraphInfo{}, err
+		}
+		defer f.Close()
+		g, format, err := dataset.DecodeStream(f, dataset.FormatAuto)
+		if err != nil {
+			return store.GraphInfo{}, err
+		}
+		return st.AddGraph(name, g, fmt.Sprintf("preload %s (%s)", path, format))
+	}
+	g, err := gen.FromSpec(spec, seed)
+	if err != nil {
+		return store.GraphInfo{}, err
+	}
+	return st.AddGraph(name, g, fmt.Sprintf("preload %s seed=%d", spec, seed))
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		maxEntries    = flag.Int("max-entries", 256, "result cache capacity (entries)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "max BSP computations executing at once")
 		maxJobs       = flag.Int("max-jobs", 512, "job registry retention (terminal jobs evicted oldest-first)")
-		maxBody       = flag.Int64("max-body", 64<<20, "max request body bytes")
+		maxBody       = flag.Int64("max-body", 64<<20, "max request body bytes (all routes except dataset ingest)")
+		maxDataBody   = flag.String("max-dataset-body", "", "max dataset ingest body, e.g. 4G (empty = unlimited)")
 		seed          = flag.Uint64("seed", 1, "seed for -preload graph generation")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 		readHeaderTO  = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		idleTO        = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 		quiet         = flag.Bool("quiet", false, "disable request logging")
+		dataDir       = flag.String("data-dir", "", "persistent dataset catalog directory (empty = memory-only)")
+		datasetBudget = flag.String("dataset-budget", "", "catalog disk budget, e.g. 512M or 8G (empty = unlimited)")
 		pre           preloads
 	)
-	flag.Var(&pre, "preload", "register a graph at boot as name=spec (repeatable)")
+	flag.Var(&pre, "preload", "register a graph at boot as name=spec or name=file:/path (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "graphdiamd: ", log.LstdFlags)
+
+	var cat *dataset.Catalog
+	if *dataDir != "" {
+		budget, err := dataset.ParseByteSize(*datasetBudget)
+		if err != nil {
+			logger.Fatalf("bad -dataset-budget: %v", err)
+		}
+		cat, err = dataset.Open(*dataDir, dataset.Options{ByteBudget: budget, Log: logger})
+		if err != nil {
+			logger.Fatalf("open dataset catalog: %v", err)
+		}
+		defer cat.Close()
+		logger.Printf("dataset catalog %s: %d datasets, %d bytes",
+			*dataDir, len(cat.List()), cat.TotalBytes())
+	} else if *datasetBudget != "" {
+		logger.Fatalf("-dataset-budget requires -data-dir")
+	}
 
 	st := store.New(store.Config{
 		MaxEntries:    *maxEntries,
 		MaxConcurrent: *maxConcurrent,
 		MaxJobs:       *maxJobs,
+		Catalog:       cat,
 	})
 	defer st.Close()
 	for _, p := range pre {
 		name, spec, ok := strings.Cut(p, "=")
 		if !ok || name == "" || spec == "" {
-			logger.Fatalf("bad -preload %q (want name=spec)", p)
+			logger.Fatalf("bad -preload %q (want name=spec or name=file:/path)", p)
 		}
-		g, err := gen.FromSpec(spec, *seed)
+		info, err := preloadGraph(st, cat, name, spec, *seed)
 		if err != nil {
 			logger.Fatalf("preload %q: %v", p, err)
 		}
-		info, err := st.AddGraph(name, g, fmt.Sprintf("preload %s seed=%d", spec, *seed))
-		if err != nil {
-			logger.Fatalf("preload %q: %v", p, err)
-		}
-		logger.Printf("preloaded %s: n=%d m=%d", info.Name, info.NumNodes, info.NumEdges)
+		logger.Printf("preloaded %s: n=%d m=%d (%s)", info.Name, info.NumNodes, info.NumEdges, info.Source)
 	}
 
-	cfg := server.Config{MaxRequestBytes: *maxBody}
+	maxDatasetBytes, err := dataset.ParseByteSize(*maxDataBody)
+	if err != nil {
+		logger.Fatalf("bad -max-dataset-body: %v", err)
+	}
+	cfg := server.Config{MaxRequestBytes: *maxBody, MaxDatasetBytes: maxDatasetBytes, Datasets: cat}
 	if !*quiet {
 		cfg.Log = logger
 	}

@@ -1,0 +1,605 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphdiam/internal/graph"
+)
+
+// ErrNotFound reports a lookup of an uncataloged dataset name.
+var ErrNotFound = errors.New("dataset: not found")
+
+// Directory layout under the catalog root:
+//
+//	manifest.json        name → snapshot mapping (atomic rename + fsync)
+//	snapshots/<sha>.gds  content-addressed snapshot files
+//	quarantine/          corrupt files set aside by crash recovery
+const (
+	manifestName  = "manifest.json"
+	snapshotsDir  = "snapshots"
+	quarantineDir = "quarantine"
+	snapExt       = ".gds"
+)
+
+// nameRE bounds dataset names to filesystem- and URL-safe tokens.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Options tunes a Catalog. The zero value is an unbounded, silent catalog.
+type Options struct {
+	// ByteBudget caps the total bytes of unique snapshot files; ingests
+	// that push past it evict the least recently used datasets. 0 means
+	// unlimited. A single snapshot larger than the budget is rejected.
+	ByteBudget int64
+	// Log receives recovery/quarantine/eviction notices; nil disables.
+	Log *log.Logger
+}
+
+// Info describes one cataloged dataset. Two names may share a SHA (and
+// thus one snapshot file); bytes are counted once per unique snapshot in
+// budget accounting.
+type Info struct {
+	Name       string    `json:"name"`
+	SHA256     string    `json:"sha256"`
+	Bytes      int64     `json:"bytes"`
+	NumNodes   int       `json:"numNodes"`
+	NumEdges   int       `json:"numEdges"`
+	Format     string    `json:"format"`
+	Source     string    `json:"source"`
+	CreatedAt  time.Time `json:"createdAt"`
+	LastUsedAt time.Time `json:"lastUsedAt"`
+}
+
+// manifest is the on-disk catalog state.
+type manifest struct {
+	Version int              `json:"version"`
+	Entries map[string]*Info `json:"entries"`
+}
+
+// Catalog is a persistent, content-addressed collection of graph
+// snapshots rooted at one directory. All methods are safe for concurrent
+// use. Mutations are crash-safe: snapshot files land under a temporary
+// name and are renamed into place before the manifest (itself written via
+// fsync'd atomic rename) references them, so a crash at any point leaves
+// either the old or the new state plus, at worst, orphan files that the
+// next Open garbage-collects.
+type Catalog struct {
+	dir  string
+	opts Options
+
+	lock *os.File // exclusive advisory lock held for the catalog's life
+
+	mu      sync.Mutex
+	entries map[string]*Info
+	mapped  map[string]*Loaded // open snapshots keyed by SHA; released at Close
+	dirty   bool               // in-memory state (incl. recency) ahead of manifest.json
+	now     func() time.Time
+}
+
+// tmpSeq disambiguates concurrent ingest temp files within one process.
+var tmpSeq atomic.Uint64
+
+// Open loads (or initializes) the catalog rooted at dir. Recovery is
+// forgiving: entries whose snapshot files are missing, truncated, or fail
+// the O(1) header checks are quarantined (the file, when present, moves to
+// quarantine/) and dropped rather than failing boot; stray temporary and
+// orphan snapshot files are deleted.
+//
+// A catalog directory belongs to one process at a time: Open takes an
+// exclusive advisory lock (where the platform supports one) and fails
+// fast when another process — a running daemon, a concurrent cmd/dataset
+// — already holds it. Without this, a second process booting from a
+// stale manifest view could roll back entries the first just ingested,
+// and its orphan collection would then delete their snapshots.
+func Open(dir string, opts Options) (*Catalog, error) {
+	for _, d := range []string{dir, filepath.Join(dir, snapshotsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{dir: dir, opts: opts, lock: lock,
+		entries: map[string]*Info{}, mapped: map[string]*Loaded{}, now: time.Now}
+
+	dirty, err := c.recover()
+	if err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	if dirty {
+		c.mu.Lock()
+		err = c.saveManifestLocked()
+		c.mu.Unlock()
+		if err != nil {
+			unlockDir(lock)
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// logf emits a notice when logging is configured.
+func (c *Catalog) logf(format string, args ...any) {
+	if c.opts.Log != nil {
+		c.opts.Log.Printf("dataset: "+format, args...)
+	}
+}
+
+// recover loads the manifest and reconciles it with the snapshot
+// directory. Returns whether the manifest must be rewritten.
+func (c *Catalog) recover() (dirty bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(c.dir, manifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// fresh catalog
+	case err != nil:
+		return false, err
+	default:
+		var m manifest
+		if jerr := json.Unmarshal(raw, &m); jerr != nil || m.Version != 1 {
+			// A corrupt manifest should be impossible under the atomic
+			// rename protocol, but if one appears, set it aside and boot
+			// empty rather than refusing to serve.
+			c.quarantine(filepath.Join(c.dir, manifestName))
+			c.logf("quarantined unreadable manifest: %v", jerr)
+			dirty = true
+		} else {
+			for name, in := range m.Entries {
+				in.Name = name
+				c.entries[name] = in
+			}
+		}
+	}
+
+	// Validate every referenced snapshot cheaply (header page only).
+	for name, in := range c.entries {
+		path := c.snapPath(in.SHA256)
+		if verr := c.checkEntry(in, path); verr != nil {
+			c.quarantine(path)
+			delete(c.entries, name)
+			c.logf("quarantined dataset %q (%s): %v", name, ShortSHA(in.SHA256), verr)
+			dirty = true
+		}
+	}
+
+	// Garbage-collect temporaries and orphans left by crashes between
+	// snapshot rename and manifest publication.
+	referenced := map[string]bool{}
+	for _, in := range c.entries {
+		referenced[in.SHA256+snapExt] = true
+	}
+	des, err := os.ReadDir(filepath.Join(c.dir, snapshotsDir))
+	if err != nil {
+		return false, err
+	}
+	for _, de := range des {
+		if de.IsDir() || referenced[de.Name()] {
+			continue
+		}
+		os.Remove(filepath.Join(c.dir, snapshotsDir, de.Name()))
+		c.logf("removed orphan snapshot file %s", de.Name())
+	}
+	return dirty, nil
+}
+
+// ShortSHA abbreviates a content address for logs and provenance
+// strings, tolerating the malformed manifest values recovery exists to
+// survive.
+func ShortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// checkEntry runs the O(1) load-path validation of one manifest entry.
+func (c *Catalog) checkEntry(in *Info, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, pageSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return fmt.Errorf("short header: %w", err)
+	}
+	h, _, err := decodeHeader(buf, st.Size())
+	if err != nil {
+		return err
+	}
+	if h.SHAHex() != in.SHA256 {
+		return fmt.Errorf("content address %s does not match manifest %s", ShortSHA(h.SHAHex()), ShortSHA(in.SHA256))
+	}
+	if h.NumNodes != in.NumNodes || h.NumEdges != in.NumEdges || st.Size() != in.Bytes {
+		return fmt.Errorf("header shape disagrees with manifest")
+	}
+	return nil
+}
+
+// quarantine moves path into the quarantine directory (best effort).
+func (c *Catalog) quarantine(path string) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	qdir := filepath.Join(c.dir, quarantineDir)
+	os.MkdirAll(qdir, 0o755)
+	dst := filepath.Join(qdir, fmt.Sprintf("%d-%s", c.now().UnixNano(), filepath.Base(path)))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+}
+
+func (c *Catalog) snapPath(sha string) string {
+	return filepath.Join(c.dir, snapshotsDir, sha+snapExt)
+}
+
+// saveManifestLocked publishes the current entries atomically: write tmp,
+// fsync, rename over manifest.json, fsync the directory. Caller holds c.mu.
+func (c *Catalog) saveManifestLocked() error {
+	c.dirty = false
+	m := manifest{Version: 1, Entries: c.entries}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(c.dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms (and some filesystems) reject fsync on directories;
+	// the rename is still atomic there, just not yet durable, so this is
+	// best-effort by design.
+	d.Sync()
+	return nil
+}
+
+// IngestGraph snapshots g into the catalog under name. Identical content
+// (same payload SHA-256) already present is deduplicated: the existing
+// snapshot file is shared and no bytes are written twice. Returns the
+// dataset's Info.
+func (c *Catalog) IngestGraph(name string, g *graph.Graph, format, source string) (Info, error) {
+	if !nameRE.MatchString(name) {
+		return Info{}, fmt.Errorf("dataset: invalid name %q (want %s)", name, nameRE)
+	}
+	// The temp name must be unique per call, not per name: two concurrent
+	// ingests of the same name writing one file would interleave into a
+	// snapshot whose payload no longer matches its content address.
+	tmp := filepath.Join(c.dir, snapshotsDir,
+		fmt.Sprintf(".tmp-%d-%d-%s", os.Getpid(), tmpSeq.Add(1), name))
+	h, err := WriteSnapshot(tmp, g)
+	if err != nil {
+		os.Remove(tmp)
+		return Info{}, err
+	}
+	if c.opts.ByteBudget > 0 && h.FileBytes > c.opts.ByteBudget {
+		os.Remove(tmp)
+		return Info{}, fmt.Errorf("dataset: snapshot of %q needs %d bytes, budget is %d",
+			name, h.FileBytes, c.opts.ByteBudget)
+	}
+	sha := h.SHAHex()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	final := c.snapPath(sha)
+	if _, err := os.Stat(final); err == nil {
+		os.Remove(tmp) // dedup: identical content already on disk
+	} else {
+		if err := os.Rename(tmp, final); err != nil {
+			os.Remove(tmp)
+			return Info{}, err
+		}
+		if err := syncDir(filepath.Join(c.dir, snapshotsDir)); err != nil {
+			return Info{}, err
+		}
+	}
+
+	nowT := c.now()
+	in := &Info{
+		Name:       name,
+		SHA256:     sha,
+		Bytes:      h.FileBytes,
+		NumNodes:   h.NumNodes,
+		NumEdges:   h.NumEdges,
+		Format:     format,
+		Source:     source,
+		CreatedAt:  nowT,
+		LastUsedAt: nowT,
+	}
+	old := c.entries[name]
+	c.entries[name] = in
+	if old != nil && old.SHA256 != sha {
+		c.removeFileIfUnreferencedLocked(old.SHA256)
+	}
+	c.evictLocked(name)
+	if err := c.saveManifestLocked(); err != nil {
+		return Info{}, err
+	}
+	return *in, nil
+}
+
+// evictLocked unlinks least-recently-used datasets until the unique
+// snapshot bytes fit the budget. keep is never evicted. Unlinking is safe
+// even while a snapshot is mmap'd: the mapping (and any graph served from
+// it) stays valid until the catalog closes. Caller holds c.mu.
+func (c *Catalog) evictLocked(keep string) {
+	if c.opts.ByteBudget <= 0 {
+		return
+	}
+	for c.totalBytesLocked() > c.opts.ByteBudget {
+		victim := ""
+		for name, in := range c.entries {
+			if name == keep {
+				continue
+			}
+			if victim == "" || in.LastUsedAt.Before(c.entries[victim].LastUsedAt) {
+				victim = name
+			}
+		}
+		if victim == "" {
+			return
+		}
+		in := c.entries[victim]
+		delete(c.entries, victim)
+		c.removeFileIfUnreferencedLocked(in.SHA256)
+		c.logf("evicted dataset %q (%d bytes) for byte budget %d", victim, in.Bytes, c.opts.ByteBudget)
+	}
+}
+
+// totalBytesLocked sums bytes once per unique snapshot.
+func (c *Catalog) totalBytesLocked() int64 {
+	seen := map[string]int64{}
+	for _, in := range c.entries {
+		seen[in.SHA256] = in.Bytes
+	}
+	var total int64
+	for _, b := range seen {
+		total += b
+	}
+	return total
+}
+
+// removeFileIfUnreferencedLocked unlinks a snapshot file once no entry
+// names it. Caller holds c.mu.
+func (c *Catalog) removeFileIfUnreferencedLocked(sha string) {
+	for _, in := range c.entries {
+		if in.SHA256 == sha {
+			return
+		}
+	}
+	os.Remove(c.snapPath(sha))
+}
+
+// Load opens the named dataset, zero-copy when the platform allows. The
+// returned graph stays valid until the catalog is closed (evicting or
+// removing the dataset later does not invalidate it).
+//
+// Loads are shared by content address: repeated loads of the same
+// snapshot — including via a different name, or after the dataset was
+// removed and re-ingested unchanged — return the same *Loaded, so a
+// daemon that churns graphs never accumulates duplicate mappings. Do not
+// call Close on a catalog-obtained Loaded; the catalog releases all
+// mappings at its own Close.
+func (c *Catalog) Load(name string) (*Loaded, error) {
+	c.mu.Lock()
+	in, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	sha := in.SHA256
+	in.LastUsedAt = c.now()
+	c.dirty = true
+	// Recency is persisted opportunistically on the next mutation or at
+	// Close; an fsync per read would tax the load path for nothing.
+	if ld, ok := c.mapped[sha]; ok {
+		c.mu.Unlock()
+		return ld, nil
+	}
+	path := c.snapPath(sha)
+	c.mu.Unlock()
+
+	ld, err := LoadSnapshot(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// The file vanished between the lookup and the open: a concurrent
+		// re-ingest or eviction unlinked that SHA. The name may well still
+		// exist (pointing at a new snapshot) — retry the whole lookup
+		// rather than surfacing a spurious not-exist for a live dataset.
+		c.mu.Lock()
+		cur, ok := c.entries[name]
+		retry := ok && cur.SHA256 != sha
+		c.mu.Unlock()
+		if retry {
+			return c.Load(name)
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.mapped[sha]; ok {
+		// A concurrent load won the race; keep one mapping and drop ours.
+		ld.Close()
+		return prior, nil
+	}
+	c.mapped[sha] = ld
+	return ld, nil
+}
+
+// Info returns the named dataset's catalog record.
+func (c *Catalog) Info(name string) (Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.entries[name]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return *in, nil
+}
+
+// List returns all datasets sorted by name.
+func (c *Catalog) List() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, len(c.entries))
+	for _, in := range c.entries {
+		out = append(out, *in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalBytes reports the unique snapshot bytes currently cataloged.
+func (c *Catalog) TotalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalBytesLocked()
+}
+
+// Remove drops name from the catalog and unlinks its snapshot when no
+// other name shares it. Graphs already loaded from it remain valid.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(c.entries, name)
+	c.removeFileIfUnreferencedLocked(in.SHA256)
+	return c.saveManifestLocked()
+}
+
+// Verify deep-checks the named dataset's snapshot: payload hash, CSR
+// invariants, and cached statistics.
+func (c *Catalog) Verify(name string) (Info, error) {
+	c.mu.Lock()
+	in, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	path := c.snapPath(in.SHA256)
+	cp := *in
+	c.mu.Unlock()
+	if _, err := VerifySnapshot(path); err != nil {
+		return Info{}, err
+	}
+	return cp, nil
+}
+
+// Dir returns the catalog's root directory.
+func (c *Catalog) Dir() string { return c.dir }
+
+// ParseByteSize parses a byte count with an optional K/M/G/T suffix
+// (powers of 1024), the grammar of the -dataset-budget flags. Empty means
+// 0 (unlimited).
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult = 1 << 10
+	case 'm', 'M':
+		mult = 1 << 20
+	case 'g', 'G':
+		mult = 1 << 30
+	case 't', 'T':
+		mult = 1 << 40
+	}
+	if mult != 1 {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("dataset: want a non-negative byte count like 512M or 8G, got %q", s)
+	}
+	return v * mult, nil
+}
+
+// Close flushes pending recency updates (only when something actually
+// changed — a read-only session must not rewrite the manifest), releases
+// every mapping handed out by Load, and drops the catalog's directory
+// lock. Graphs served from the mappings must no longer be in use.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	if c.dirty {
+		err = c.saveManifestLocked()
+	}
+	for _, ld := range c.mapped {
+		if cerr := ld.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.mapped = map[string]*Loaded{}
+	unlockDir(c.lock)
+	c.lock = nil
+	return err
+}
+
+// names returns entry names (diagnostics/tests).
+func (c *Catalog) names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,410 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/gio"
+	"graphdiam/internal/graph"
+)
+
+// edgeListText renders g as an edge-list string.
+func edgeListText(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gio.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func mustGen(t *testing.T, spec string, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.FromSpec(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCatalogIngestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	g := mustGen(t, "mesh:16", 1)
+	in, err := c.Ingest("mesh", strings.NewReader(edgeListText(t, g)), FormatAuto, "test upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Format != FormatEdgeList {
+		t.Fatalf("sniffed format %q, want edgelist", in.Format)
+	}
+	if in.NumNodes != g.NumNodes() || in.NumEdges != g.NumEdges() {
+		t.Fatalf("info shape (%d,%d), want (%d,%d)", in.NumNodes, in.NumEdges, g.NumNodes(), g.NumEdges())
+	}
+	ld, err := c.Load("mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, g, ld.Graph)
+
+	if _, err := c.Load("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing name: err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Verify("mesh"); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestCatalogGzipAndFormatSniffing(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := mustGen(t, "mesh:8", 2)
+
+	var dimacs bytes.Buffer
+	if err := gio.WriteDIMACS(&dimacs, g); err != nil {
+		t.Fatal(err)
+	}
+	var gzDimacs bytes.Buffer
+	zw := gzip.NewWriter(&gzDimacs)
+	zw.Write(dimacs.Bytes())
+	zw.Close()
+
+	in, err := c.Ingest("roads", bytes.NewReader(gzDimacs.Bytes()), FormatAuto, "gz upload")
+	if err != nil {
+		t.Fatalf("gzipped dimacs ingest: %v", err)
+	}
+	if in.Format != FormatDIMACS {
+		t.Fatalf("sniffed %q through gzip, want dimacs", in.Format)
+	}
+	ld, err := c.Load("roads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, g, ld.Graph)
+
+	var bin bytes.Buffer
+	if err := gio.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if in, err = c.Ingest("bin", bytes.NewReader(bin.Bytes()), FormatAuto, ""); err != nil {
+		t.Fatalf("binary ingest: %v", err)
+	}
+	if in.Format != FormatBinary {
+		t.Fatalf("sniffed %q, want binary", in.Format)
+	}
+}
+
+func TestCatalogDedupSharesOneFile(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := mustGen(t, "rmat:7", 5)
+	a, err := c.IngestGraph("alpha", g, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.IngestGraph("beta", g, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SHA256 != b.SHA256 {
+		t.Fatalf("identical graphs got different content addresses")
+	}
+	des, err := os.ReadDir(filepath.Join(dir, snapshotsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 1 {
+		t.Fatalf("%d snapshot files for deduplicated content, want 1", len(des))
+	}
+	if got := c.TotalBytes(); got != a.Bytes {
+		t.Fatalf("TotalBytes = %d counts shared snapshot twice (file is %d)", got, a.Bytes)
+	}
+
+	// Removing one alias keeps the shared file; removing the last unlinks.
+	if err := c.Remove("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotsDir, a.SHA256+snapExt)); err != nil {
+		t.Fatalf("shared snapshot unlinked while still referenced: %v", err)
+	}
+	if err := c.Remove("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotsDir, a.SHA256+snapExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unreferenced snapshot survived: %v", err)
+	}
+}
+
+func TestCatalogSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGen(t, "road:10", 3)
+	if _, err := c.IngestGraph("usa", g, FormatDIMACS, "dimacs file"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	in, err := c2.Info("usa")
+	if err != nil {
+		t.Fatalf("entry lost across restart: %v", err)
+	}
+	if in.Source != "dimacs file" || in.Format != FormatDIMACS {
+		t.Fatalf("provenance lost: %+v", in)
+	}
+	ld, err := c2.Load("usa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, g, ld.Graph)
+}
+
+func TestCatalogQuarantinesCorruptSnapshotOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := mustGen(t, "mesh:6", 1)
+	bad := mustGen(t, "mesh:7", 1)
+	if _, err := c.IngestGraph("good", good, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	inBad, err := c.IngestGraph("bad", bad, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Corrupt bad's header on disk.
+	path := filepath.Join(dir, snapshotsDir, inBad.SHA256+snapExt)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[numEdgesOff] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("boot failed instead of quarantining: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Info("bad"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt entry still cataloged: %v", err)
+	}
+	if _, err := c2.Load("good"); err != nil {
+		t.Fatalf("healthy sibling entry lost: %v", err)
+	}
+	qdes, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qdes) == 0 {
+		t.Fatalf("corrupt snapshot not quarantined (err=%v, files=%d)", err, len(qdes))
+	}
+	// A third boot must be clean and stable.
+	c2.Close()
+	c3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if got := c3.names(); len(got) != 1 || got[0] != "good" {
+		t.Fatalf("post-recovery catalog = %v, want [good]", got)
+	}
+}
+
+func TestCatalogRecoversFromMissingFileAndOrphans(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := c.IngestGraph("gone", mustGen(t, "mesh:5", 1), FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestGraph("kept", mustGen(t, "mesh:9", 1), FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Simulate a crash aftermath: one referenced file vanished, one orphan
+	// snapshot and one stray temp file appeared.
+	os.Remove(filepath.Join(dir, snapshotsDir, in.SHA256+snapExt))
+	orphan := filepath.Join(dir, snapshotsDir, strings.Repeat("ab", 32)+snapExt)
+	if _, err := WriteSnapshot(orphan, mustGen(t, "path:9", 1)); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, snapshotsDir, ".tmp-999-x")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := c2.names(); len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("recovered catalog = %v, want [kept]", got)
+	}
+	for _, p := range []string{orphan, tmp} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("garbage %s survived recovery", filepath.Base(p))
+		}
+	}
+}
+
+func TestCatalogByteBudgetEviction(t *testing.T) {
+	// Three equal-shape meshes with different seeds: identical snapshot
+	// sizes, distinct content addresses.
+	g1 := mustGen(t, "mesh:12", 1)
+	g2 := mustGen(t, "mesh:12", 2)
+	g3 := mustGen(t, "mesh:12", 3)
+
+	// Probe one snapshot's size to derive a two-snapshot budget.
+	probeDir := t.TempDir()
+	probe, err := Open(probeDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin, err := probe.IngestGraph("probe", g1, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+
+	dir := t.TempDir()
+	c, err := Open(dir, Options{ByteBudget: 2 * pin.Bytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Deterministic monotone clock so LRU ordering is exact.
+	fake := time.Unix(1_700_000_000, 0)
+	c.now = func() time.Time {
+		fake = fake.Add(time.Second)
+		return fake
+	}
+
+	if _, err := c.IngestGraph("a", g1, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestGraph("b", g2, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("a"); err != nil { // bump a's recency past b's
+		t.Fatal(err)
+	}
+	if _, err := c.IngestGraph("c", g3, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := c.names(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("after eviction catalog = %v, want [a c]", got)
+	}
+	if _, err := c.Load("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU victim still loadable: %v", err)
+	}
+	if total := c.TotalBytes(); total > 2*pin.Bytes {
+		t.Fatalf("TotalBytes %d exceeds budget %d", total, 2*pin.Bytes)
+	}
+	des, err := os.ReadDir(filepath.Join(dir, snapshotsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 2 {
+		t.Fatalf("%d snapshot files after eviction, want 2", len(des))
+	}
+
+	// A single snapshot bigger than the whole budget is rejected outright.
+	tiny, err := Open(t.TempDir(), Options{ByteBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tiny.Close()
+	if _, err := tiny.IngestGraph("huge", g1, FormatBinary, ""); err == nil {
+		t.Fatal("snapshot larger than the budget accepted")
+	}
+}
+
+func TestCatalogLoadSharesMappingsBySHA(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := mustGen(t, "mesh:9", 4)
+	if _, err := c.IngestGraph("one", g, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestGraph("two", g, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Load("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Load("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeat Load of one name mapped the snapshot twice")
+	}
+	// A different name with identical content shares the mapping too.
+	d, err := c.Load("two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != a {
+		t.Fatal("alias name mapped the shared snapshot twice")
+	}
+	if len(c.mapped) != 1 {
+		t.Fatalf("%d open mappings, want 1", len(c.mapped))
+	}
+}
+
+func TestCatalogRejectsBadNames(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := mustGen(t, "path:4", 1)
+	for _, name := range []string{"", "../escape", "a/b", ".hidden", strings.Repeat("x", 200)} {
+		if _, err := c.IngestGraph(name, g, FormatBinary, ""); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"graphdiam/internal/gio"
+	"graphdiam/internal/graph"
+)
+
+// Graph interchange formats the ingestion pipeline understands. "auto"
+// (or "") sniffs the stream; each format is also accepted gzip-wrapped.
+const (
+	FormatAuto     = "auto"
+	FormatEdgeList = "edgelist"
+	FormatDIMACS   = "dimacs"
+	FormatMETIS    = "metis"
+	FormatBinary   = "binary"
+)
+
+// Ingest streams r through the format decoder into a CSR snapshot under
+// name. The text never becomes resident as a whole: gio's readers consume
+// the stream line by line (or record by record) straight into the graph
+// builder, so peak memory is the CSR form plus an O(1) window of text —
+// never both full forms at once. format may be one of the Format
+// constants or ""/auto to sniff; gzip wrapping is detected either way.
+func (c *Catalog) Ingest(name string, r io.Reader, format, source string) (Info, error) {
+	// Reject bad names before paying for the decode — a multi-gigabyte
+	// stream should not parse to completion only to fail on the name.
+	if !nameRE.MatchString(name) {
+		return Info{}, fmt.Errorf("dataset: invalid name %q (want %s)", name, nameRE)
+	}
+	g, format, err := DecodeStream(r, format)
+	if err != nil {
+		return Info{}, err
+	}
+	return c.IngestGraph(name, g, format, source)
+}
+
+// DecodeStream decodes one graph from r in the named (or sniffed) format,
+// transparently unwrapping gzip, and reports the format actually used.
+func DecodeStream(r io.Reader, format string) (*graph.Graph, string, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(512)
+
+	var rd io.Reader = br
+	if isGzipMagic(head) {
+		// Classify on a best-effort decompression of the peeked prefix,
+		// then hand the (still unconsumed) stream to the decoder through
+		// a fresh gzip reader.
+		head = gunzipPrefix(head)
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, "", fmt.Errorf("dataset: gzip input: %w", err)
+		}
+		defer zr.Close()
+		rd = zr
+	}
+
+	switch strings.ToLower(format) {
+	case "", FormatAuto:
+		format = ClassifyFormat(head)
+	case FormatEdgeList, FormatDIMACS, FormatMETIS, FormatBinary:
+		format = strings.ToLower(format)
+	default:
+		return nil, "", fmt.Errorf("dataset: unknown format %q (want auto, edgelist, dimacs, metis, or binary)", format)
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch format {
+	case FormatEdgeList:
+		g, err = gio.ReadEdgeList(rd)
+	case FormatDIMACS:
+		g, err = gio.ReadDIMACS(rd)
+	case FormatMETIS:
+		g, err = gio.ReadMETIS(rd)
+	case FormatBinary:
+		g, err = gio.ReadBinary(rd)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return g, format, nil
+}
+
+func isGzipMagic(b []byte) bool {
+	return len(b) >= 2 && b[0] == 0x1f && b[1] == 0x8b
+}
+
+// gunzipPrefix best-effort decompresses a raw prefix of a gzip stream so
+// the classifier can see plaintext. Truncation errors are expected and
+// ignored — whatever decompressed is enough to sniff a format.
+func gunzipPrefix(raw []byte) []byte {
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil
+	}
+	defer zr.Close()
+	out := make([]byte, 512)
+	n, _ := io.ReadFull(zr, out)
+	return out[:n]
+}
+
+// gioBinaryMagic is the first 8 bytes of gio's binary format: the "GDM1"
+// magic written as a little-endian uint64.
+var gioBinaryMagic = []byte{0x31, 0x4d, 0x44, 0x47, 0, 0, 0, 0}
+
+// ClassifyFormat sniffs a plaintext (already gunzipped) head:
+//
+//   - gio binary magic            → binary
+//   - first line "c …" or "p sp…" → dimacs
+//   - '%' comment leader          → metis
+//   - everything else             → edgelist ('#' comments, "u v w" rows)
+//
+// A headerless METIS file whose first line is bare integers is
+// indistinguishable from an edge list; pass format=metis explicitly for
+// those.
+func ClassifyFormat(head []byte) string {
+	if bytes.HasPrefix(head, gioBinaryMagic) {
+		return FormatBinary
+	}
+	for _, line := range strings.Split(string(head), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "c ") || line == "c" || strings.HasPrefix(line, "p "):
+			return FormatDIMACS
+		case strings.HasPrefix(line, "%"):
+			return FormatMETIS
+		default:
+			return FormatEdgeList
+		}
+	}
+	return FormatEdgeList
+}
+
+// IngestFile is the path-based convenience over Ingest used by the CLI
+// and -preload: opens path and streams it in.
+func (c *Catalog) IngestFile(name, path, format, source string) (Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer f.Close()
+	if source == "" {
+		source = "file " + path
+	}
+	return c.Ingest(name, f, format, source)
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform has a zero-copy load path.
+// Without it every load takes the portable io.ReadFull fallback behind the
+// same API.
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("dataset: mmap unsupported on this platform")
+}
+
+func munmapFile(_ []byte) error { return nil }
+
+// lockDir has no flock here; single-process catalog use is assumed.
+func lockDir(_ string) (*os.File, error) { return nil, nil }
+
+func unlockDir(_ *os.File) {}

@@ -1,0 +1,52 @@
+//go:build unix
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has a zero-copy load path.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The mapping survives a later
+// unlink of the file (the catalog relies on this: evicting or removing a
+// snapshot never invalidates graphs already served from it).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// lockDir takes a non-blocking exclusive flock on dir/.lock so only one
+// process mutates a catalog at a time. The returned file keeps the lock
+// alive; unlockDir releases it.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/.lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: catalog %s is in use by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

@@ -1,0 +1,306 @@
+package dataset
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/core"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/rng"
+)
+
+// edgeTriple is one undirected edge for exact comparisons.
+type edgeTriple struct {
+	u, v graph.NodeID
+	w    float64
+}
+
+func edgesOf(g *graph.Graph) []edgeTriple {
+	var out []edgeTriple
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		out = append(out, edgeTriple{u, v, w})
+	})
+	return out
+}
+
+// requireIdentical asserts got reproduces want bit-for-bit: shape, cached
+// stats, and the full ForEachEdge stream in order.
+func requireIdentical(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("shape: want (%d,%d), got (%d,%d)",
+			want.NumNodes(), want.NumEdges(), got.NumNodes(), got.NumEdges())
+	}
+	if want.Stats() != got.Stats() {
+		t.Fatalf("stats: want %+v, got %+v", want.Stats(), got.Stats())
+	}
+	we, ge := edgesOf(want), edgesOf(got)
+	if len(we) != len(ge) {
+		t.Fatalf("edge streams differ in length: %d vs %d", len(we), len(ge))
+	}
+	for i := range we {
+		if we[i] != ge[i] {
+			t.Fatalf("edge %d differs: want %+v, got %+v", i, we[i], ge[i])
+		}
+	}
+}
+
+// families returns the property-test corpus: the gen families the paper
+// benchmarks plus weight-distribution and degenerate corners.
+func families(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	r := rng.New(7)
+	road, err := gen.FromSpec("road:12", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmat, err := gen.FromSpec("rmat:8", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"road":    road,
+		"rmat":    rmat,
+		"bimodal": gen.BimodalWeights(gen.Mesh(12), 1e-6, 1, 0.25, r),
+		"path":    gen.Path(64),
+		"empty":   graph.NewBuilder(0, 0).Build(),
+		"lonely":  graph.NewBuilder(5, 0).Build(), // nodes, no edges
+	}
+}
+
+func TestSnapshotRoundTripAllFamilies(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range families(t) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+snapExt)
+			h, err := WriteSnapshot(path, g)
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if h.NumNodes != g.NumNodes() || h.NumEdges != g.NumEdges() {
+				t.Fatalf("header shape (%d,%d) vs graph (%d,%d)",
+					h.NumNodes, h.NumEdges, g.NumNodes(), g.NumEdges())
+			}
+			for _, force := range []bool{false, true} {
+				ld, err := loadSnapshot(path, force)
+				if err != nil {
+					t.Fatalf("load(forceFallback=%v): %v", force, err)
+				}
+				if !force && mmapSupported && hostLittleEndian && !ld.Mmapped {
+					t.Fatalf("expected mmap-backed load")
+				}
+				if force && ld.Mmapped {
+					t.Fatalf("forced fallback still mmapped")
+				}
+				requireIdentical(t, g, ld.Graph)
+				ld.Close()
+			}
+			if _, err := VerifySnapshot(path); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestSnapshotContentAddressIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.FromSpec("rmat:7", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := WriteSnapshot(filepath.Join(dir, "a.gds"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := WriteSnapshot(filepath.Join(dir, "b.gds"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.PayloadSHA != h2.PayloadSHA {
+		t.Fatalf("same graph hashed to %s and %s", h1.SHAHex(), h2.SHAHex())
+	}
+	other, err := gen.FromSpec("rmat:7", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := WriteSnapshot(filepath.Join(dir, "c.gds"), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.PayloadSHA == h1.PayloadSHA {
+		t.Fatalf("different graphs share a content address")
+	}
+}
+
+func TestSnapshotRejectsHeaderCorruption(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.BimodalWeights(gen.Mesh(8), 0.5, 2, 0.5, rng.New(1))
+	path := filepath.Join(dir, "g.gds")
+	if _, err := WriteSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(off int64) {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[off] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flip(numNodesOff) // header corruption must fail the O(1) CRC check
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("corrupt header loaded")
+	}
+	if _, err := WriteSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupted offset table would make adjacency slicing unsafe: the
+	// load-path monotonicity scan must reject it outright.
+	flip(pageSize + 8) // offsets[1], low byte
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("non-monotone offset table loaded")
+	}
+	if _, err := WriteSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupted target ID (here: the high byte of the first target,
+	// pushing it far beyond n) would index out of range in algorithm
+	// state: the load-path range sweep must reject it.
+	flip(2*pageSize + 3) // offsets fit page 1, so targets start at page 2
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("out-of-range target ID loaded")
+	}
+	if _, err := WriteSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corruption in per-edge content (here: a weight byte) passes the
+	// cheap load checks by design — access stays memory-safe…
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip(st.Size() - 1)
+	ld, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("edge-content corruption should not fail the cheap load path: %v", err)
+	}
+	ld.Close()
+	// …but never survives a deep verify.
+	if _, err := VerifySnapshot(path); err == nil {
+		t.Fatal("corrupt payload verified clean")
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Path(100)
+	path := filepath.Join(dir, "g.gds")
+	if _, err := WriteSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("truncated snapshot loaded")
+	}
+}
+
+func TestSnapshotNotASnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.gds")
+	if err := os.WriteFile(path, make([]byte, 2*pageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("zero-filled file loaded as snapshot")
+	}
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("short file loaded as snapshot")
+	}
+}
+
+// TestSnapshotDecompositionMetricsIdentical is the fidelity bar that
+// matters for serving: a decomposition and a diameter run on a loaded
+// snapshot must be indistinguishable — result fields and the paper's
+// platform-independent cost metrics (rounds/messages/updates) — from the
+// same run on the original in-memory graph.
+func TestSnapshotDecompositionMetricsIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	for name, g := range families(t) {
+		if g.NumNodes() == 0 {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+snapExt)
+			if _, err := WriteSnapshot(path, g); err != nil {
+				t.Fatal(err)
+			}
+			for _, force := range []bool{false, true} {
+				ld, err := loadSnapshot(path, force)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(gg *graph.Graph) *core.Clustering {
+					e := bsp.New(4)
+					defer e.Close()
+					cl, err := core.Cluster(ctx, gg, core.Options{Seed: 42, Engine: e})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return cl
+				}
+				want, got := run(g), run(ld.Graph)
+				if want.Metrics != got.Metrics {
+					t.Fatalf("metrics diverge (forceFallback=%v): original %v, snapshot %v",
+						force, want.Metrics, got.Metrics)
+				}
+				if want.Radius != got.Radius || want.Stages != got.Stages ||
+					want.NumClusters() != got.NumClusters() || want.DeltaEnd != got.DeltaEnd ||
+					want.GrowingSteps != got.GrowingSteps {
+					t.Fatalf("clustering outcome diverges on loaded snapshot (forceFallback=%v)", force)
+				}
+				ld.Close()
+			}
+		})
+	}
+}
+
+func TestClassifyFormat(t *testing.T) {
+	cases := map[string]string{
+		"c road network\np sp 3 2\na 1 2 1\n": FormatDIMACS,
+		"p sp 3 2\na 1 2 1\n":                 FormatDIMACS,
+		"% metis comment\n3 2 001\n":          FormatMETIS,
+		"# snap comment\n0 1 1\n":             FormatEdgeList,
+		"0 1 0.5\n1 2 2\n":                    FormatEdgeList,
+		"":                                    FormatEdgeList,
+	}
+	for head, want := range cases {
+		if got := ClassifyFormat([]byte(head)); got != want {
+			t.Errorf("ClassifyFormat(%q) = %s, want %s", head, got, want)
+		}
+	}
+	if got := ClassifyFormat(gioBinaryMagic); got != FormatBinary {
+		t.Errorf("binary magic classified as %s", got)
+	}
+}

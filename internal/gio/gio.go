@@ -10,6 +10,7 @@ package gio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -19,6 +20,24 @@ import (
 	"graphdiam/internal/graph"
 )
 
+// maybeGunzip sniffs r for the gzip magic bytes (0x1f 0x8b) and, when
+// present, interposes a gzip.Reader. All text readers call it first, so
+// compressed DIMACS/edge-list/METIS files (the form big road networks are
+// distributed in) are accepted transparently. Inputs shorter than two
+// bytes pass through untouched — the format parser produces its own error.
+func maybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil || len(magic) < 2 || magic[0] != 0x1f || magic[1] != 0x8b {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("gio: gzip input: %w", err)
+	}
+	return zr, nil
+}
+
 // ReadDIMACS parses a DIMACS ".gr" graph. Lines:
 //
 //	c <comment>
@@ -26,8 +45,13 @@ import (
 //	a <u> <v> <w>      (1-based node IDs, directed arc records)
 //
 // Road-network files list each undirected edge as two arcs; the builder's
-// deduplication collapses them.
+// deduplication collapses them. Gzip-compressed input is accepted
+// transparently.
 func ReadDIMACS(r io.Reader) (*graph.Graph, error) {
+	r, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var b *graph.Builder
@@ -112,8 +136,13 @@ func WriteDIMACS(w io.Writer, g *graph.Graph) error {
 
 // ReadEdgeList parses a whitespace edge list with 0-based node IDs:
 // "u v w" per line, blank lines and lines starting with '#' ignored.
-// The node count is one more than the maximum ID seen.
+// The node count is one more than the maximum ID seen. Gzip-compressed
+// input is accepted transparently.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	r, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	type rec struct {
@@ -212,8 +241,32 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
+// binaryEdgeBytes is the on-disk size of one WriteBinary edge record
+// (u uint32, v uint32, w float64).
+const binaryEdgeBytes = 4 + 4 + 8
+
 // ReadBinary reads a graph written by WriteBinary.
+//
+// The header's declared node and edge counts are validated before any
+// allocation: node IDs must fit uint32, and when the input's size is
+// knowable (io.Seeker, e.g. *os.File or bytes.Reader) a header whose edge
+// count implies more bytes than the input holds is rejected outright —
+// a truncated or hostile header cannot trigger a huge allocation. For
+// unseekable inputs the edge count only bounds a capped preallocation
+// hint, so a lying header costs at most one small slice before the
+// decode loop hits EOF.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	inputSize := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if cur, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := s.Seek(0, io.SeekEnd); err == nil {
+				if _, err := s.Seek(cur, io.SeekStart); err != nil {
+					return nil, fmt.Errorf("gio: rewind after size probe: %w", err)
+				}
+				inputSize = end - cur
+			}
+		}
+	}
 	br := bufio.NewReader(r)
 	var magic, n, m uint64
 	for _, p := range []*uint64{&magic, &n, &m} {
@@ -224,7 +277,25 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	if magic != binaryMagic {
 		return nil, fmt.Errorf("gio: bad magic %#x", magic)
 	}
-	b := graph.NewBuilder(int(n), int(m))
+	if n > 1<<32 {
+		return nil, fmt.Errorf("gio: declared node count %d exceeds the uint32 ID space", n)
+	}
+	if inputSize >= 0 {
+		payload := inputSize - 3*8 // header already accounted in inputSize
+		if payload < 0 {
+			payload = 0
+		}
+		if m > uint64(payload)/binaryEdgeBytes {
+			return nil, fmt.Errorf("gio: declared edge count %d needs %d bytes/edge, input has only %d bytes",
+				m, binaryEdgeBytes, payload)
+		}
+	}
+	const maxHint = 1 << 18 // cap the unverifiable prealloc at ~8 MiB of records
+	hint := m
+	if hint > maxHint {
+		hint = maxHint
+	}
+	b := graph.NewBuilder(int(n), int(hint))
 	for i := uint64(0); i < m; i++ {
 		var u, v uint32
 		var w float64

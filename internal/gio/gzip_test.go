@@ -1,0 +1,152 @@
+package gio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// gz compresses b with gzip.
+func gz(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b); err != nil {
+		t.Fatalf("gzip write: %v", err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatalf("gzip close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestGzipTransparentDIMACS(t *testing.T) {
+	g := sample()
+	var plain bytes.Buffer
+	if err := WriteDIMACS(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(bytes.NewReader(gz(t, plain.Bytes())))
+	if err != nil {
+		t.Fatalf("ReadDIMACS(gzip): %v", err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestGzipTransparentEdgeList(t *testing.T) {
+	g := sample()
+	var plain bytes.Buffer
+	if err := WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(bytes.NewReader(gz(t, plain.Bytes())))
+	if err != nil {
+		t.Fatalf("ReadEdgeList(gzip): %v", err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestGzipTransparentMETIS(t *testing.T) {
+	g := sample()
+	var plain bytes.Buffer
+	if err := WriteMETIS(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETIS(bytes.NewReader(gz(t, plain.Bytes())))
+	if err != nil {
+		t.Fatalf("ReadMETIS(gzip): %v", err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestGzipPlainInputsStillWork(t *testing.T) {
+	g := sample()
+	var plain bytes.Buffer
+	if err := WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEdgeList(plain): %v", err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestGzipCorruptStream(t *testing.T) {
+	g := sample()
+	var plain bytes.Buffer
+	if err := WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	z := gz(t, plain.Bytes())
+	z = z[:len(z)/2] // truncate mid-stream
+	if _, err := ReadEdgeList(bytes.NewReader(z)); err == nil {
+		t.Fatal("truncated gzip accepted")
+	}
+}
+
+func TestGzipTinyInputPassesThrough(t *testing.T) {
+	// Inputs shorter than the 2-byte magic must reach the format parser,
+	// which reports its own (non-gzip) error.
+	if _, err := ReadEdgeList(bytes.NewReader([]byte{'x'})); err == nil {
+		t.Fatal("1-byte garbage accepted")
+	}
+	if _, err := ReadDIMACS(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty DIMACS accepted")
+	}
+}
+
+// binaryHeader renders a WriteBinary header with the given counts.
+func binaryHeader(n, m uint64) []byte {
+	var buf bytes.Buffer
+	for _, h := range []uint64{binaryMagic, n, m} {
+		binary.Write(&buf, binary.LittleEndian, h)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRejectsOversizedEdgeCount(t *testing.T) {
+	// Header claims 2^40 edges but carries no payload: with a seekable
+	// input the reader must reject before allocating anything.
+	hdr := binaryHeader(4, 1<<40)
+	if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("hostile edge count accepted")
+	}
+	// Off-by-one: payload holds exactly one edge, header claims two.
+	one := append(binaryHeader(4, 2), make([]byte, binaryEdgeBytes)...)
+	if _, err := ReadBinary(bytes.NewReader(one)); err == nil {
+		t.Fatal("edge count exceeding payload accepted")
+	}
+}
+
+func TestBinaryRejectsOversizedNodeCount(t *testing.T) {
+	hdr := binaryHeader(1<<33, 0)
+	if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("node count beyond uint32 ID space accepted")
+	}
+}
+
+func TestBinaryUnseekableTruncatedFailsGracefully(t *testing.T) {
+	// An unseekable stream cannot be size-checked up front; a lying header
+	// must still end in a decode error, not an OOM-scale allocation.
+	hdr := binaryHeader(4, 1<<40)
+	r := io.MultiReader(bytes.NewReader(hdr)) // hides the Seeker
+	if _, err := ReadBinary(r); err == nil {
+		t.Fatal("truncated unseekable stream accepted")
+	}
+}
+
+func TestBinarySeekableRoundTripStillWorks(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	graphsEqual(t, g, got)
+}

@@ -14,7 +14,12 @@ import (
 // "001"): a header line "n m [fmt]" followed by one line per node listing
 // "neighbor weight" pairs with 1-based node IDs. Comment lines start
 // with '%'. Without the weight flag, unit weights are assumed.
+// Gzip-compressed input is accepted transparently.
 func ReadMETIS(r io.Reader) (*graph.Graph, error) {
+	r, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var b *graph.Builder

@@ -149,6 +149,82 @@ func (g *Graph) AvgEdgeWeight() float64 { return g.stats.AvgWeight }
 // MaxDegree returns the maximum node degree, 0 for edgeless graphs. O(1).
 func (g *Graph) MaxDegree() int { return g.stats.MaxDegree }
 
+// RawCSR exposes the graph's CSR arrays: the n+1 offset table and the
+// parallel target/weight arrays of length 2m. The slices alias internal
+// storage and must not be modified. This is the serialization hook of
+// internal/dataset's snapshot writer; algorithm code should keep using
+// Neighbors/ForEachEdge.
+func (g *Graph) RawCSR() (offsets []int64, targets []NodeID, weights []float64) {
+	return g.offsets, g.targets, g.weights
+}
+
+// FromCSR wraps already-assembled CSR arrays in a Graph without copying
+// them — the zero-copy entry point for snapshot loads, where the slices
+// alias a read-only mmap region. stats must describe the arrays exactly
+// (snapshot headers persist the Stats computed by Build, so loads skip the
+// O(n+m) rescan).
+//
+// Only O(1) structural invariants are checked here; deep validation
+// (offset monotonicity, target range, weight positivity, adjacency order)
+// is the caller's job via ValidateCSR when the arrays come from an
+// untrusted file. The arrays must follow Build's conventions: adjacency
+// sorted by target, both directions of every undirected edge present, no
+// self-loops or duplicates.
+func FromCSR(offsets []int64, targets []NodeID, weights []float64, stats Stats) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR: empty offset table")
+	}
+	if len(targets) != len(weights) {
+		return nil, fmt.Errorf("graph: FromCSR: %d targets vs %d weights", len(targets), len(weights))
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR: offsets[0] = %d, want 0", offsets[0])
+	}
+	if last := offsets[len(offsets)-1]; last != int64(len(targets)) {
+		return nil, fmt.Errorf("graph: FromCSR: offsets end at %d, want %d", last, len(targets))
+	}
+	if stats.NumNodes != len(offsets)-1 || stats.NumEdges != len(targets)/2 {
+		return nil, fmt.Errorf("graph: FromCSR: stats describe n=%d m=%d, arrays hold n=%d m=%d",
+			stats.NumNodes, stats.NumEdges, len(offsets)-1, len(targets)/2)
+	}
+	return &Graph{offsets: offsets, targets: targets, weights: weights, stats: stats}, nil
+}
+
+// ValidateCSR deep-checks the CSR invariants FromCSR assumes: monotone
+// offsets, targets in range and strictly increasing per adjacency list
+// (sorted, no duplicates, no self-loops), positive finite weights, and
+// symmetric edges (both directions present with equal weight). O(n + m log d).
+func (g *Graph) ValidateCSR() error {
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		if g.offsets[u] > g.offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", u)
+		}
+	}
+	for u := 0; u < n; u++ {
+		ts, ws := g.Neighbors(NodeID(u))
+		for i, v := range ts {
+			if int(v) >= n {
+				return fmt.Errorf("graph: node %d: target %d out of range n=%d", u, v, n)
+			}
+			if v == NodeID(u) {
+				return fmt.Errorf("graph: node %d: self-loop", u)
+			}
+			if i > 0 && ts[i-1] >= v {
+				return fmt.Errorf("graph: node %d: adjacency not strictly sorted at slot %d", u, i)
+			}
+			w := ws[i]
+			if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+				return fmt.Errorf("graph: node %d: invalid weight %v on edge to %d", u, w, v)
+			}
+			if rw, ok := g.EdgeWeight(v, NodeID(u)); !ok || rw != w {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
 // ReweightUniform returns a copy of g whose edge weights are drawn i.i.d.
 // from (0,1] using draw, which is called once per undirected edge. Both
 // directions of an edge receive the same weight.

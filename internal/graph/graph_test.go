@@ -335,3 +335,95 @@ func BenchmarkNeighborScan(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	g := triangle()
+	off, ts, ws := g.RawCSR()
+	g2, err := FromCSR(off, ts, ws, g.Stats())
+	if err != nil {
+		t.Fatalf("FromCSR: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %v vs %v", g2, g)
+	}
+	if g2.Stats() != g.Stats() {
+		t.Fatalf("stats mismatch: %+v vs %+v", g2.Stats(), g.Stats())
+	}
+	var want, got [][3]float64
+	g.ForEachEdge(func(u, v NodeID, w float64) { want = append(want, [3]float64{float64(u), float64(v), w}) })
+	g2.ForEachEdge(func(u, v NodeID, w float64) { got = append(got, [3]float64{float64(u), float64(v), w}) })
+	if len(want) != len(got) {
+		t.Fatalf("edge count mismatch")
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("edge %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if err := g2.ValidateCSR(); err != nil {
+		t.Fatalf("ValidateCSR on valid graph: %v", err)
+	}
+}
+
+func TestFromCSRRejectsMalformedShapes(t *testing.T) {
+	g := triangle()
+	off, ts, ws := g.RawCSR()
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"empty offsets", func() error { _, err := FromCSR(nil, ts, ws, g.Stats()); return err }},
+		{"length mismatch", func() error { _, err := FromCSR(off, ts, ws[:len(ws)-1], g.Stats()); return err }},
+		{"bad first offset", func() error {
+			bad := append([]int64{1}, off[1:]...)
+			_, err := FromCSR(bad, ts, ws, g.Stats())
+			return err
+		}},
+		{"bad last offset", func() error {
+			bad := append(append([]int64{}, off[:len(off)-1]...), off[len(off)-1]+2)
+			_, err := FromCSR(bad, ts, ws, g.Stats())
+			return err
+		}},
+		{"stats mismatch", func() error {
+			s := g.Stats()
+			s.NumNodes++
+			_, err := FromCSR(off, ts, ws, s)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s: FromCSR accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestValidateCSRCatchesCorruption(t *testing.T) {
+	corrupt := func(mutate func(off []int64, ts []NodeID, ws []float64)) error {
+		g := triangle()
+		off, ts, ws := g.RawCSR()
+		off2 := append([]int64{}, off...)
+		ts2 := append([]NodeID{}, ts...)
+		ws2 := append([]float64{}, ws...)
+		mutate(off2, ts2, ws2)
+		g2, err := FromCSR(off2, ts2, ws2, g.Stats())
+		if err != nil {
+			return err
+		}
+		return g2.ValidateCSR()
+	}
+	cases := map[string]func(off []int64, ts []NodeID, ws []float64){
+		"target out of range": func(_ []int64, ts []NodeID, _ []float64) { ts[0] = 99 },
+		"self-loop":           func(_ []int64, ts []NodeID, _ []float64) { ts[0] = 0 },
+		"unsorted adjacency":  func(_ []int64, ts []NodeID, _ []float64) { ts[0], ts[1] = ts[1], ts[0] },
+		"negative weight":     func(_ []int64, _ []NodeID, ws []float64) { ws[0] = -1 },
+		"NaN weight":          func(_ []int64, _ []NodeID, ws []float64) { ws[0] = math.NaN() },
+		"asymmetric weight":   func(_ []int64, _ []NodeID, ws []float64) { ws[0] *= 2 },
+		"non-monotone offset": func(off []int64, _ []NodeID, _ []float64) { off[1], off[2] = off[2], off[1] },
+	}
+	for name, mutate := range cases {
+		if corrupt(mutate) == nil {
+			t.Errorf("%s: ValidateCSR accepted corrupt CSR", name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"graphdiam/internal/dataset"
+)
+
+// The /v2/datasets endpoints manage the persistent graph catalog (see
+// internal/dataset). They exist only when the daemon was started with
+// -data-dir; otherwise every dataset route answers 503 so clients can
+// distinguish "not configured" from "not found".
+//
+//	POST   /v2/datasets?name=N[&format=F][&source=S]
+//	       ingest the raw request body (edgelist | dimacs | metis |
+//	       binary, each optionally gzip-wrapped; format defaults to
+//	       auto-sniffing) into a content-addressed snapshot
+//	GET    /v2/datasets               list cataloged datasets
+//	GET    /v2/datasets/{name}        one dataset's catalog record
+//	DELETE /v2/datasets/{name}        drop the record (and the snapshot
+//	       file once unreferenced); already-loaded graphs stay usable
+//	POST   /v2/datasets/{name}/load   fault the dataset into the
+//	       in-memory registry now (queries do this lazily anyway)
+//
+// Uploads stream: the body is decoded straight into the CSR builder, so
+// the daemon never holds both the full text and the graph in memory.
+
+// requireDatasets answers 503 when no catalog is configured.
+func (s *Server) requireDatasets(w http.ResponseWriter) (*dataset.Catalog, bool) {
+	if s.cfg.Datasets == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("dataset catalog not configured (start the daemon with -data-dir)"))
+		return nil, false
+	}
+	return s.cfg.Datasets, true
+}
+
+// writeDatasetError maps catalog errors to HTTP statuses.
+func writeDatasetError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dataset.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleIngestDataset(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.requireDatasets(w)
+	if !ok {
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?name= query parameter"))
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "upload"
+	}
+	info, err := cat.Ingest(name, r.Body, r.URL.Query().Get("format"), source)
+	if err != nil {
+		writeDatasetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	cat, ok := s.requireDatasets(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"datasets":   cat.List(),
+		"totalBytes": cat.TotalBytes(),
+	})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.requireDatasets(w)
+	if !ok {
+		return
+	}
+	info, err := cat.Info(r.PathValue("name"))
+	if err != nil {
+		writeDatasetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.requireDatasets(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if err := cat.Remove(name); err != nil {
+		writeDatasetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.requireDatasets(w); !ok {
+		return
+	}
+	info, err := s.st.LoadDataset(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}

@@ -23,6 +23,19 @@
 //	GET    /v2/jobs/{id}/events  Server-Sent Events progress stream
 //	DELETE /v2/jobs/{id}       cancel a job
 //
+//	POST   /v2/datasets        ingest a graph into the persistent catalog
+//	                           (?name=, raw body, format auto-sniffed)
+//	GET    /v2/datasets        list cataloged datasets
+//	GET    /v2/datasets/{name} one dataset's record
+//	DELETE /v2/datasets/{name} drop a dataset from the catalog
+//	POST   /v2/datasets/{name}/load  fault a dataset into memory now
+//
+// Dataset routes (see datasets.go) require the daemon's -data-dir; a
+// graph name queried via /v1//v2 compute endpoints that is not resident
+// in memory is faulted in from the catalog transparently, so an ingested
+// dataset survives restarts with no client-visible difference beyond the
+// first query's load time (an O(1) mmap).
+//
 // A v2 job moves through queued → running → done|failed|cancelled; its
 // snapshots carry the latest progress (phase, stage, Δ, coverage fraction,
 // BSP cost) and, once done, the result. Cancellation is cooperative: the
@@ -47,6 +60,7 @@ import (
 	"net/http"
 	"strings"
 
+	"graphdiam/internal/dataset"
 	"graphdiam/internal/gen"
 	"graphdiam/internal/gio"
 	"graphdiam/internal/graph"
@@ -58,8 +72,18 @@ type Config struct {
 	// MaxRequestBytes bounds request bodies (graph uploads dominate).
 	// Default 64 MiB.
 	MaxRequestBytes int64
+	// MaxDatasetBytes separately bounds dataset ingest bodies
+	// (POST /v2/datasets), which stream straight into the CSR builder and
+	// are legitimately multi-gigabyte for the road networks the paper
+	// targets — the general cap would reject them mid-stream. 0 means
+	// unlimited: the catalog's own byte budget is the backstop.
+	MaxDatasetBytes int64
 	// Log receives one line per request; nil disables request logging.
 	Log *log.Logger
+	// Datasets, when non-nil, enables the /v2/datasets catalog endpoints.
+	// It should be the same catalog the store was configured with so
+	// ingested datasets are lazily loadable by queries.
+	Datasets *dataset.Catalog
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +115,11 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v2/datasets", s.handleIngestDataset)
+	s.mux.HandleFunc("GET /v2/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v2/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v2/datasets/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /v2/datasets/{name}/load", s.handleLoadDataset)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -102,7 +131,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Log != nil {
 		s.cfg.Log.Printf("%s %s", r.Method, r.URL.Path)
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if r.Method == http.MethodPost && r.URL.Path == "/v2/datasets" {
+		if s.cfg.MaxDatasetBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes)
+		}
+	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 

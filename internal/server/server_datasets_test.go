@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/dataset"
+	"graphdiam/internal/gen"
+	"graphdiam/internal/gio"
+	"graphdiam/internal/store"
+)
+
+// newDatasetServer builds a catalog-backed store+server over dir. The
+// returned shutdown function (idempotent, also registered as cleanup)
+// tears the whole stack down — a test "restarts the daemon" by invoking
+// it and building a fresh stack on the same dir. The teardown must be
+// complete before reopening: the catalog holds an exclusive directory
+// lock, exactly as two live daemons on one -data-dir are refused.
+func newDatasetServer(t *testing.T, dir string) (*httptest.Server, *store.Store, func()) {
+	t.Helper()
+	cat, err := dataset.Open(dir, dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(store.Config{MaxConcurrent: 4, Catalog: cat})
+	ts := httptest.NewServer(New(st, Config{Datasets: cat}))
+	done := false
+	shutdown := func() {
+		if done {
+			return
+		}
+		done = true
+		ts.Close()
+		st.Close()
+		cat.Close()
+	}
+	t.Cleanup(shutdown)
+	return ts, st, shutdown
+}
+
+// uploadBody POSTs raw bytes to url and decodes the JSON response.
+func uploadBody(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// diameterFields are the deterministic parts of a DiameterResponse — all
+// of it except wall-clock time and cache provenance.
+type diameterFields struct {
+	Estimate         float64
+	QuotientDiameter float64
+	Radius           float64
+	QuotientNodes    int
+	QuotientEdges    int
+	NumClusters      int
+	Stages           int
+	Metrics          bsp.Snapshot
+}
+
+func fieldsOf(r DiameterResponse) diameterFields {
+	return diameterFields{
+		Estimate:         r.Estimate,
+		QuotientDiameter: r.QuotientDiameter,
+		Radius:           r.Radius,
+		QuotientNodes:    r.QuotientNodes,
+		QuotientEdges:    r.QuotientEdges,
+		NumClusters:      r.NumClusters,
+		Stages:           r.Stages,
+		Metrics:          r.Metrics,
+	}
+}
+
+// TestDatasetIngestSurvivesRestart is the acceptance scenario: ingest over
+// HTTP, query, tear the whole serving stack down, rebuild it over the same
+// -data-dir, and observe the identical diameter answer with no re-upload —
+// the graph faults in from the catalog lazily.
+func TestDatasetIngestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts1, _, shutdown1 := newDatasetServer(t, dir)
+
+	g, err := gen.FromSpec("road:16", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el bytes.Buffer
+	zw := gzip.NewWriter(&el)
+	if err := gio.WriteEdgeList(zw, g); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+
+	var info dataset.Info
+	code := uploadBody(t, ts1.URL+"/v2/datasets?name=roadnet&source=test", el.Bytes(), &info)
+	if code != http.StatusCreated {
+		t.Fatalf("ingest status %d", code)
+	}
+	if info.Format != dataset.FormatEdgeList || info.NumEdges != g.NumEdges() {
+		t.Fatalf("ingest info %+v", info)
+	}
+
+	query := map[string]any{"graph": "roadnet", "seed": 9}
+	var before DiameterResponse
+	if code := doJSON(t, "POST", ts1.URL+"/v1/diameter", query, &before); code != http.StatusOK {
+		t.Fatalf("pre-restart diameter status %d", code)
+	}
+
+	// "Restart": tear the first stack down entirely (releasing its
+	// catalog lock), then build a fresh catalog, store, and server on the
+	// same data directory. No graphs are registered, nothing is preloaded.
+	shutdown1()
+	ts2, st2, _ := newDatasetServer(t, dir)
+	if len(st2.Graphs()) != 0 {
+		t.Fatal("fresh store unexpectedly has graphs")
+	}
+	var after DiameterResponse
+	if code := doJSON(t, "POST", ts2.URL+"/v1/diameter", query, &after); code != http.StatusOK {
+		t.Fatalf("post-restart diameter status %d", code)
+	}
+	if fieldsOf(before) != fieldsOf(after) {
+		t.Fatalf("restart changed the answer:\n before %+v\n after  %+v", fieldsOf(before), fieldsOf(after))
+	}
+	if after.Cached {
+		t.Fatal("post-restart query claims cached (cache is per-process)")
+	}
+}
+
+func TestDatasetEndpointsLifecycle(t *testing.T) {
+	ts, st, _ := newDatasetServer(t, t.TempDir())
+	g, err := gen.FromSpec("mesh:10", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el bytes.Buffer
+	if err := gio.WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := uploadBody(t, ts.URL+"/v2/datasets?name=m", el.Bytes(), nil); code != http.StatusCreated {
+		t.Fatalf("ingest status %d", code)
+	}
+	// Missing name parameter is a 400.
+	if code := uploadBody(t, ts.URL+"/v2/datasets", el.Bytes(), nil); code != http.StatusBadRequest {
+		t.Fatalf("nameless ingest status %d", code)
+	}
+
+	var list struct {
+		Datasets   []dataset.Info `json:"datasets"`
+		TotalBytes int64          `json:"totalBytes"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/datasets", nil, &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(list.Datasets) != 1 || list.Datasets[0].Name != "m" || list.TotalBytes == 0 {
+		t.Fatalf("list %+v", list)
+	}
+
+	var info dataset.Info
+	if code := doJSON(t, "GET", ts.URL+"/v2/datasets/m", nil, &info); code != http.StatusOK {
+		t.Fatalf("info status %d", code)
+	}
+	if info.SHA256 == "" || info.NumNodes != 100 {
+		t.Fatalf("info %+v", info)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/datasets/ghost", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing info status %d", code)
+	}
+
+	// Explicit load registers the graph without a compute query.
+	var ginfo store.GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/v2/datasets/m/load", nil, &ginfo); code != http.StatusOK {
+		t.Fatalf("load status %d", code)
+	}
+	if _, _, ok := st.Graph("m"); !ok {
+		t.Fatal("load endpoint did not register the graph")
+	}
+
+	if code := doJSON(t, "DELETE", ts.URL+"/v2/datasets/m", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/datasets/m", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted dataset still listed: %d", code)
+	}
+	// The already-loaded graph keeps serving (unlink-while-mapped safety).
+	var resp DiameterResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/diameter", map[string]any{"graph": "m"}, &resp); code != http.StatusOK {
+		t.Fatalf("query after dataset delete: status %d", code)
+	}
+}
+
+func TestDatasetEndpointsWithoutCatalog(t *testing.T) {
+	ts, _ := newTestServer(t) // no -data-dir equivalent
+	for _, probe := range []struct{ method, path string }{
+		{"POST", "/v2/datasets?name=x"},
+		{"GET", "/v2/datasets"},
+		{"GET", "/v2/datasets/x"},
+		{"DELETE", "/v2/datasets/x"},
+		{"POST", "/v2/datasets/x/load"},
+	} {
+		if code := doJSON(t, probe.method, ts.URL+probe.path, nil, nil); code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s without catalog: status %d, want 503", probe.method, probe.path, code)
+		}
+	}
+}

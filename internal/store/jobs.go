@@ -40,14 +40,14 @@ func (st JobState) Terminal() bool {
 
 // JobView is an immutable snapshot of a job, JSON-ready for the /v2 API.
 type JobView struct {
-	ID       string         `json:"id"`
-	Kind     JobKind        `json:"kind"`
-	Graph    string         `json:"graph"`
-	Params   Params         `json:"params"`
-	State    JobState       `json:"state"`
-	Created  time.Time      `json:"createdAt"`
-	Started  *time.Time     `json:"startedAt,omitempty"`
-	Finished *time.Time     `json:"finishedAt,omitempty"`
+	ID       string     `json:"id"`
+	Kind     JobKind    `json:"kind"`
+	Graph    string     `json:"graph"`
+	Params   Params     `json:"params"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"createdAt"`
+	Started  *time.Time `json:"startedAt,omitempty"`
+	Finished *time.Time `json:"finishedAt,omitempty"`
 	// Progress is the latest snapshot from the running computation; nil
 	// until the first stage completes (or forever, for cache hits).
 	Progress *core.Progress `json:"progress,omitempty"`
@@ -181,10 +181,25 @@ func (s *Store) submitJob(kind JobKind, graphName string, p Params) (*job, JobVi
 	}
 
 	s.mu.Lock()
-	if _, ok := s.graphs[graphName]; !ok {
-		s.mu.Unlock()
-		return nil, JobView{}, &NotFoundError{Name: graphName}
+	_, resident := s.graphs[graphName]
+	s.mu.Unlock()
+	if !resident {
+		// Not resident — still submittable when the dataset catalog knows
+		// the name: the job's compute path faults it in lazily. The
+		// catalog is consulted outside s.mu; its mutex can be held across
+		// manifest fsyncs by a concurrent ingest, and that disk latency
+		// must never ride the store's global lock.
+		known := false
+		if s.cfg.Catalog != nil {
+			_, ierr := s.cfg.Catalog.Info(graphName)
+			known = ierr == nil
+		}
+		if !known {
+			return nil, JobView{}, &NotFoundError{Name: graphName}
+		}
 	}
+
+	s.mu.Lock()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.nextJob++
 	j := &job{
@@ -202,14 +217,24 @@ func (s *Store) submitJob(kind JobKind, graphName string, p Params) (*job, JobVi
 	s.jobOrder = append(s.jobOrder, j.id)
 	s.evictJobsLocked()
 	view := j.viewLocked()
+	// Track the goroutine for Close's join — but never Add concurrently
+	// with an in-progress Wait: post-Close submissions run untracked (they
+	// cancel immediately under the already-dead baseCtx anyway).
+	tracked := !s.closed
+	if tracked {
+		s.jobsWG.Add(1)
+	}
 	s.mu.Unlock()
 
-	go s.runJob(ctx, j)
+	go s.runJob(ctx, j, tracked)
 	return j, view, nil
 }
 
 // runJob executes one job to its terminal state.
-func (s *Store) runJob(ctx context.Context, j *job) {
+func (s *Store) runJob(ctx context.Context, j *job, tracked bool) {
+	if tracked {
+		defer s.jobsWG.Done()
+	}
 	s.mu.Lock()
 	j.state = JobRunning
 	j.started = s.now()

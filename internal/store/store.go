@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"graphdiam/internal/bsp"
+	"graphdiam/internal/dataset"
 	"graphdiam/internal/graph"
 )
 
@@ -43,6 +44,12 @@ type Config struct {
 	// the oldest terminal (done/failed/cancelled) jobs are evicted. Live
 	// jobs are never evicted. Default 512.
 	MaxJobs int
+	// Catalog, when non-nil, backs the registry with the persistent
+	// dataset catalog: a query naming a graph that is not in memory is
+	// faulted in from the catalog (zero-copy mmap where available) under
+	// per-name singleflight before the query proceeds. Nil keeps the
+	// registry memory-only.
+	Catalog *dataset.Catalog
 }
 
 func (c Config) withDefaults() Config {
@@ -140,12 +147,19 @@ type Store struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// jobsWG tracks every runJob goroutine so Close can join them: the
+	// daemon must not release resources a job may still be touching (in
+	// particular mmap'd dataset snapshots) while a run is mid-superstep.
+	jobsWG sync.WaitGroup
+
 	mu       sync.Mutex
+	closed   bool // Close begun: new jobs are no longer WG-tracked
 	nextID   uint64
 	graphs   map[string]*graphEntry
 	cache    map[key]*list.Element // values are *entry wrapped in list elements
 	lru      *list.List            // front = most recently used
 	flights  map[key]*flight
+	loads    map[string]*flight // per-name dataset fault-ins in progress
 	ctrs     Counters
 	cost     bsp.Metrics // accumulated metrics of completed computations
 	nextJob  uint64
@@ -167,18 +181,26 @@ func New(cfg Config) *Store {
 		cache:      make(map[key]*list.Element),
 		lru:        list.New(),
 		flights:    make(map[key]*flight),
+		loads:      make(map[string]*flight),
 		jobs:       make(map[string]*job),
 		now:        time.Now,
 	}
 }
 
-// Close cancels every live job. Running BSP engines observe the
-// cancellation at their next superstep barrier; job states transition to
-// cancelled as the runs unwind. Jobs submitted after Close are cancelled
-// immediately; direct (synchronous) queries are unaffected — they run
-// under their caller's context.
+// Close cancels every live job and waits for their goroutines to unwind.
+// Running BSP engines observe the cancellation at their next superstep
+// barrier, so the wait is bounded by one superstep — and once Close
+// returns, no job is still reading any graph, which lets callers safely
+// tear down graph backing storage (e.g. munmap dataset snapshots) right
+// after. Jobs submitted after Close are cancelled immediately; direct
+// (synchronous) queries are unaffected — they run under their caller's
+// context.
 func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 	s.baseCancel()
+	s.jobsWG.Wait()
 }
 
 // AddGraph registers g under name. source is a human-readable provenance
@@ -304,7 +326,13 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		ge, ok := s.graphs[graphName]
 		if !ok {
 			s.mu.Unlock()
-			return nil, false, &NotFoundError{Name: graphName}
+			// Dataset-backed lazy loading: a name that is not resident may
+			// exist in the catalog; fault it in (deduplicated per name)
+			// and retry the lookup.
+			if err := s.faultIn(ctx, graphName); err != nil {
+				return nil, false, err
+			}
+			continue
 		}
 		k := key{graphID: ge.id, params: params}
 		if el, ok := s.cache[k]; ok {
@@ -358,6 +386,90 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		close(f.done)
 		return f.val, false, f.err
 	}
+}
+
+// faultIn loads graphName from the dataset catalog into the registry.
+// Concurrent fault-ins of the same name share one catalog load
+// (singleflight): the first caller mmaps the snapshot, the rest wait on
+// its flight. Returns NotFoundError when no catalog is configured or the
+// catalog has no such dataset, so the API surface is unchanged for
+// memory-only deployments.
+func (s *Store) faultIn(ctx context.Context, graphName string) error {
+	for {
+		s.mu.Lock()
+		if _, ok := s.graphs[graphName]; ok {
+			s.mu.Unlock()
+			return nil // someone else registered it meanwhile
+		}
+		cat := s.cfg.Catalog
+		if cat == nil {
+			s.mu.Unlock()
+			return &NotFoundError{Name: graphName}
+		}
+		if f, ok := s.loads[graphName]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && isContextErr(f.err) && ctx.Err() == nil {
+					continue // leader abandoned, not us: retry
+				}
+				return f.err
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		s.loads[graphName] = f
+		s.mu.Unlock()
+
+		ld, err := cat.Load(graphName)
+		if err == nil {
+			err = s.addGraphIfAbsent(graphName, ld.Graph,
+				fmt.Sprintf("dataset sha256=%s", dataset.ShortSHA(ld.Header.SHAHex())))
+		} else if errors.Is(err, dataset.ErrNotFound) {
+			err = &NotFoundError{Name: graphName}
+		}
+		f.err = err
+
+		s.mu.Lock()
+		delete(s.loads, graphName)
+		s.mu.Unlock()
+		close(f.done)
+		return err
+	}
+}
+
+// addGraphIfAbsent registers g under name only when the name is free: a
+// fault-in that raced a direct AddGraph (a client re-registering the name
+// mid-load) must not clobber the client's graph and purge its results.
+// Either way the name is resident afterwards, which is all fault-in
+// callers need.
+func (s *Store) addGraphIfAbsent(name string, g *graph.Graph, source string) error {
+	s.mu.Lock()
+	_, exists := s.graphs[name]
+	s.mu.Unlock()
+	if exists {
+		return nil
+	}
+	// AddGraph re-locks; the window between the check and the add is
+	// benign — worst case the dataset copy wins a race two registrations
+	// were always allowed to have.
+	_, err := s.AddGraph(name, g, source)
+	return err
+}
+
+// LoadDataset faults the named dataset into the in-memory registry
+// eagerly (the same path queries take lazily) and returns the registered
+// graph's info.
+func (s *Store) LoadDataset(ctx context.Context, name string) (GraphInfo, error) {
+	if err := s.faultIn(ctx, name); err != nil {
+		return GraphInfo{}, err
+	}
+	_, info, ok := s.Graph(name)
+	if !ok {
+		return GraphInfo{}, &NotFoundError{Name: name}
+	}
+	return info, nil
 }
 
 // isContextErr reports whether err is a cancellation/deadline error — the

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphdiam/internal/dataset"
+	"graphdiam/internal/gen"
+)
+
+// newCatalogWith builds a catalog in a temp dir holding the named graphs.
+func newCatalogWith(t *testing.T, specs map[string]string) *dataset.Catalog {
+	t.Helper()
+	c, err := dataset.Open(t.TempDir(), dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for name, spec := range specs {
+		g, err := gen.FromSpec(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.IngestGraph(name, g, dataset.FormatBinary, "spec "+spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestDatasetFaultInServesColdName(t *testing.T) {
+	cat := newCatalogWith(t, map[string]string{"lazy": "mesh:24"})
+	s := New(Config{Catalog: cat})
+	defer s.Close()
+
+	if _, _, ok := s.Graph("lazy"); ok {
+		t.Fatal("graph resident before first query")
+	}
+	res, cached, err := s.Diameter(context.Background(), "lazy", Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("diameter on cold dataset name: %v", err)
+	}
+	if cached {
+		t.Fatal("first query reported cached")
+	}
+	if res.Estimate <= 0 {
+		t.Fatalf("estimate %v", res.Estimate)
+	}
+
+	// The fault-in registered the graph with dataset provenance.
+	_, info, ok := s.Graph("lazy")
+	if !ok {
+		t.Fatal("graph not registered after fault-in")
+	}
+	if !strings.HasPrefix(info.Source, "dataset sha256=") {
+		t.Fatalf("source %q lacks dataset provenance", info.Source)
+	}
+
+	// The fault-in result matches a direct in-memory run on the same graph.
+	g, err := gen.FromSpec("mesh:24", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := New(Config{})
+	defer mem.Close()
+	if _, err := mem.AddGraph("lazy", g, "direct"); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := mem.Diameter(context.Background(), "lazy", Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != want.Estimate || res.Metrics != want.Metrics ||
+		res.QuotientNodes != want.QuotientNodes || res.NumClusters != want.NumClusters {
+		t.Fatalf("snapshot-backed result %+v differs from in-memory %+v", res, want)
+	}
+}
+
+func TestDatasetFaultInConcurrentColdQueries(t *testing.T) {
+	cat := newCatalogWith(t, map[string]string{"cold": "rmat:9"})
+	s := New(Config{Catalog: cat, MaxConcurrent: 4})
+	defer s.Close()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	ests := make([]float64, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := s.Diameter(context.Background(), "cold", Params{Seed: 7})
+			ests[i], errs[i] = res.Estimate, err
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if ests[i] != ests[0] {
+			t.Fatalf("client %d estimate %v != %v", i, ests[i], ests[0])
+		}
+	}
+	st := s.Stats()
+	if st.Counters.Computations != 1 {
+		t.Fatalf("%d computations for identical concurrent queries, want 1", st.Counters.Computations)
+	}
+}
+
+func TestDatasetFaultInMissingName(t *testing.T) {
+	cat := newCatalogWith(t, nil)
+	s := New(Config{Catalog: cat})
+	defer s.Close()
+	var nf *NotFoundError
+	if _, _, err := s.Decompose(context.Background(), "ghost", Params{}); !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want NotFoundError", err)
+	}
+	// Without a catalog the behaviour is unchanged.
+	s2 := New(Config{})
+	defer s2.Close()
+	if _, _, err := s2.Decompose(context.Background(), "ghost", Params{}); !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want NotFoundError", err)
+	}
+}
+
+func TestLoadDatasetEager(t *testing.T) {
+	cat := newCatalogWith(t, map[string]string{"eager": "mesh:10"})
+	s := New(Config{Catalog: cat})
+	defer s.Close()
+	info, err := s.LoadDataset(context.Background(), "eager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "eager" || info.NumNodes != 100 {
+		t.Fatalf("info %+v", info)
+	}
+	if _, _, ok := s.Graph("eager"); !ok {
+		t.Fatal("eager load did not register the graph")
+	}
+	if _, err := s.LoadDataset(context.Background(), "ghost"); err == nil {
+		t.Fatal("missing dataset loaded")
+	}
+}
