@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dataset -dir DIR [-budget SIZE] <command> [args]
+//	dataset -dir DIR [-budget SIZE] [-remote URL] <command> [args]
 //
 //	ingest -name NAME [-format auto] [-source TEXT] FILE
 //	        parse FILE (edgelist | dimacs | metis | binary, gzip
@@ -15,17 +15,29 @@
 //	        print one dataset's record
 //	rm NAME
 //	        drop a dataset (snapshot file removed once unreferenced)
-//	verify [NAME...]
+//	verify [-watch [-interval 30s]] [NAME...]
 //	        deep-check snapshots: payload SHA-256, CSR invariants,
-//	        cached statistics; all datasets when no names given
+//	        cached statistics; all datasets when no names given.
+//	        -watch keeps sweeping the whole catalog on the interval
+//	        (quarantining corruption like the daemon's background
+//	        sweeper) until interrupted
 //
-// Exit status is non-zero on any failure, including a failed verify.
+// -remote points the catalog's blob tier at a daemon's /v2/blobs (the
+// same protocol graphdiamd's -blob-url speaks), with a read-through
+// cache under DIR/cache.
+//
+// Exit status is non-zero on any failure, including a failed verify or
+// any corruption observed during a watch.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"graphdiam/internal/dataset"
 )
@@ -34,9 +46,10 @@ func main() {
 	var (
 		dir    = flag.String("dir", "", "catalog directory (required)")
 		budget = flag.String("budget", "", "disk budget, e.g. 512M or 8G (empty = unlimited)")
+		remote = flag.String("remote", "", "base URL of a shared snapshot blob tier, e.g. http://daemon:8080")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dataset -dir DIR [-budget SIZE] {ingest|ls|info|rm|verify} [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: dataset -dir DIR [-budget SIZE] [-remote URL] {ingest|ls|info|rm|verify} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,7 +61,15 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	cat, err := dataset.Open(*dir, dataset.Options{ByteBudget: budgetBytes})
+	opts := dataset.Options{ByteBudget: budgetBytes}
+	if *remote != "" {
+		rs, err := dataset.NewRemoteStore(*remote, filepath.Join(*dir, "cache"), nil)
+		if err != nil {
+			fatal("bad -remote: %v", err)
+		}
+		opts.Blobs = rs
+	}
+	cat, err := dataset.Open(*dir, opts)
 	if err != nil {
 		fatal("open catalog: %v", err)
 	}
@@ -133,7 +154,18 @@ func cmdRm(cat *dataset.Catalog, args []string) {
 }
 
 func cmdVerify(cat *dataset.Catalog, args []string) {
-	names := args
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	watch := fs.Bool("watch", false, "sweep the whole catalog repeatedly until interrupted")
+	interval := fs.Duration("interval", 30*time.Second, "sweep cadence in watch mode")
+	fs.Parse(args)
+	if *watch {
+		if fs.NArg() != 0 {
+			fatal("verify -watch sweeps the whole catalog; drop the name arguments")
+		}
+		watchVerify(cat, *interval)
+		return
+	}
+	names := fs.Args()
 	if len(names) == 0 {
 		for _, in := range cat.List() {
 			names = append(names, in.Name)
@@ -150,5 +182,45 @@ func cmdVerify(cat *dataset.Catalog, args []string) {
 	}
 	if failed > 0 {
 		fatal("%d of %d datasets failed verification", failed, len(names))
+	}
+}
+
+// watchVerify runs integrity sweeps on a cadence — the CLI face of the
+// daemon's background sweeper, sharing its quarantine semantics — until
+// SIGINT/SIGTERM. Exit status reports whether any sweep ever failed.
+func watchVerify(cat *dataset.Catalog, interval time.Duration) {
+	if interval <= 0 {
+		fatal("verify -watch needs a positive -interval")
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	failures := 0
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		results := cat.SweepOnce()
+		ok := 0
+		for _, res := range results {
+			switch {
+			case res.OK:
+				ok++
+			case res.Skipped:
+				fmt.Printf("skip %s: %s\n", res.Name, res.Error)
+			default:
+				fmt.Printf("FAIL %s (%s): %s [quarantined]\n",
+					res.Name, dataset.ShortSHA(res.SHA256), res.Error)
+				failures++
+			}
+		}
+		fmt.Printf("sweep: %d ok / %d checked at %s\n", ok, len(results),
+			time.Now().Format("15:04:05"))
+		select {
+		case <-sig:
+			if failures > 0 {
+				fatal("%d corruption(s) observed while watching", failures)
+			}
+			return
+		case <-t.C:
+		}
 	}
 }

@@ -27,6 +27,20 @@
 // footprint (suffixes K/M/G/T, powers of 1024); least-recently-used
 // datasets are evicted when an ingest would exceed it.
 //
+// -blob-url points the catalog's storage tier at a peer daemon (or any
+// HTTP store speaking the /v2/blobs protocol): snapshots are fetched by
+// content address into a read-through cache under <data-dir>/cache,
+// ingests publish to the shared tier, and dataset names unknown locally
+// resolve against the peer's catalog — so a fleet shares one snapshot
+// set while every node keeps its own manifest. The daemon always serves
+// its own tier at /v2/blobs when a catalog is configured.
+//
+// -verify-interval starts a background integrity sweeper that re-hashes
+// every cataloged snapshot on that cadence and quarantines corruption
+// exactly like boot-time recovery (entry dropped, blob set aside under
+// quarantine/, daemon keeps serving). Sweep telemetry is reported by
+// GET /v2/datasets.
+//
 // -preload accepts two value shapes: a generator spec ("usa=road:256",
 // see gen.FromSpec) or "name=file:/path" naming a graph file in any
 // supported format (edgelist, DIMACS, METIS, binary; gzip transparent;
@@ -44,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -106,6 +121,8 @@ func main() {
 		quiet         = flag.Bool("quiet", false, "disable request logging")
 		dataDir       = flag.String("data-dir", "", "persistent dataset catalog directory (empty = memory-only)")
 		datasetBudget = flag.String("dataset-budget", "", "catalog disk budget, e.g. 512M or 8G (empty = unlimited)")
+		blobURL       = flag.String("blob-url", "", "base URL of a shared snapshot blob tier, e.g. http://peer:8080 (requires -data-dir)")
+		verifyEvery   = flag.Duration("verify-interval", 0, "background integrity sweep interval, e.g. 30m (0 = disabled; requires -data-dir)")
 		pre           preloads
 	)
 	flag.Var(&pre, "preload", "register a graph at boot as name=spec or name=file:/path (repeatable)")
@@ -119,15 +136,43 @@ func main() {
 		if err != nil {
 			logger.Fatalf("bad -dataset-budget: %v", err)
 		}
-		cat, err = dataset.Open(*dataDir, dataset.Options{ByteBudget: budget, Log: logger})
+		if *verifyEvery < 0 {
+			logger.Fatalf("-verify-interval must be positive (0 disables)")
+		}
+		opts := dataset.Options{ByteBudget: budget, Log: logger}
+		if *blobURL != "" {
+			// Shared snapshot tier: blobs fetch by content address from
+			// the peer, read-through cached under <data-dir>/cache, and
+			// unknown dataset names resolve against the peer's catalog.
+			remote, err := dataset.NewRemoteStore(*blobURL, filepath.Join(*dataDir, "cache"), nil)
+			if err != nil {
+				logger.Fatalf("bad -blob-url: %v", err)
+			}
+			opts.Blobs = remote
+			logger.Printf("using remote blob backend %s", *blobURL)
+		}
+		cat, err = dataset.Open(*dataDir, opts)
 		if err != nil {
 			logger.Fatalf("open dataset catalog: %v", err)
 		}
 		defer cat.Close()
 		logger.Printf("dataset catalog %s: %d datasets, %d bytes",
 			*dataDir, len(cat.List()), cat.TotalBytes())
-	} else if *datasetBudget != "" {
-		logger.Fatalf("-dataset-budget requires -data-dir")
+		if *verifyEvery > 0 {
+			// Catalog Close stops the sweeper; no explicit stop needed.
+			cat.StartSweeper(*verifyEvery)
+			logger.Printf("integrity sweeper: re-verifying snapshots every %v", *verifyEvery)
+		}
+	} else {
+		for flagName, set := range map[string]bool{
+			"-dataset-budget":  *datasetBudget != "",
+			"-blob-url":        *blobURL != "",
+			"-verify-interval": *verifyEvery != 0,
+		} {
+			if set {
+				logger.Fatalf("%s requires -data-dir", flagName)
+			}
+		}
 	}
 
 	st := store.New(store.Config{

@@ -1,0 +1,409 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// ErrBlobNotFound reports a content address absent from a blob store.
+var ErrBlobNotFound = errors.New("dataset: blob not found")
+
+// ErrBackendUnavailable reports a blob backend that could not be reached
+// at all (network failure, refused connection, 5xx from the remote tier).
+// It is deliberately distinct from ErrBlobNotFound: recovery and the
+// integrity sweeper must not quarantine entries just because the shared
+// tier had a bad minute.
+var ErrBackendUnavailable = errors.New("dataset: blob backend unavailable")
+
+// shaRE matches a lowercase hex SHA-256 — the only token a BlobStore
+// accepts as a name, which also makes path traversal through a blob key
+// impossible.
+var shaRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// BlobStore is the storage tier under the catalog: an immutable,
+// content-addressed set of snapshot blobs keyed by payload SHA-256. The
+// catalog's manifest (name → sha) stays per-node; the blob tier is what a
+// fleet can share. Implementations must be safe for concurrent use.
+//
+// Because snapshots are loaded by mmap, a store must be able to
+// materialize a blob as a local file (Fetch); for LocalStore that is the
+// blob itself, for RemoteStore a read-through cache copy.
+type BlobStore interface {
+	// Put stores the blob under sha. Writing an address that already
+	// exists is a no-op (content addressing: the bytes are identical by
+	// construction), and r may be left unconsumed in that case.
+	Put(sha string, r io.Reader) error
+	// Open streams the blob. Missing blobs return ErrBlobNotFound.
+	Open(sha string) (io.ReadCloser, error)
+	// Fetch materializes the blob as a local mmap-able file and returns
+	// its path. The file must remain valid until Delete/Quarantine.
+	Fetch(sha string) (string, error)
+	// Delete drops the blob from local storage. Remote stores drop only
+	// their cache copy — one node must never unlink a shared tier's blob
+	// out from under its peers.
+	Delete(sha string) error
+	// List enumerates the content addresses materialized locally (the
+	// set recovery garbage-collects against).
+	List() ([]string, error)
+	// Quarantine moves the local copy of sha to dest (best effort,
+	// nil when there is no local copy), making Fetch miss until the blob
+	// is re-put or re-fetched.
+	Quarantine(sha, dest string) error
+}
+
+// blobFilePutter is the zero-copy fast path for stores that can adopt an
+// already-written local file (rename instead of stream). The source path
+// is consumed on success.
+type blobFilePutter interface {
+	PutFile(sha, path string) error
+}
+
+// blobSizer reports a locally-known blob size, -1 when unknown (e.g. a
+// remote blob that is not cached). Used by recovery's truncation check.
+type blobSizer interface {
+	BlobSize(sha string) (int64, error)
+}
+
+// tempCleaner removes stale temporary files left behind by a crash.
+type tempCleaner interface {
+	CleanTemps() []string
+}
+
+// blobPinner protects blobs that arrived from outside the local manifest
+// — peer uploads through BlobServer — from the catalog's orphan GC and
+// unreferenced-blob deletion. A hub's own manifest never references a
+// blob a peer ingested, so without pins a hub restart (or a hub-side
+// dataset removal that deduped onto the same address) would destroy the
+// fleet's only copy. An explicit Delete unpins: that is the operator
+// acting on the tier itself.
+type blobPinner interface {
+	PinBlob(sha string) error
+	UnpinBlob(sha string)
+	PinnedBlobs() []string
+}
+
+// blobTempDirer points spooling (blob-server uploads) at a directory on
+// the same filesystem as the store, so adoption is a rename instead of a
+// second full copy through os.TempDir.
+type blobTempDirer interface {
+	BlobTempDir() string
+}
+
+// putBlobFile stores the snapshot file at path under sha, preferring the
+// rename fast path and falling back to a streaming copy. path is consumed
+// either way on success.
+func putBlobFile(bs BlobStore, sha, path string) error {
+	if fp, ok := bs.(blobFilePutter); ok {
+		return fp.PutFile(sha, path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := bs.Put(sha, f); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	return os.Remove(path)
+}
+
+func checkSHA(sha string) error {
+	if !shaRE.MatchString(sha) {
+		return fmt.Errorf("dataset: malformed content address %q", sha)
+	}
+	return nil
+}
+
+// LocalStore is the original backend: one directory of page-aligned
+// `<sha>.gds` files, mmap-capable, written crash-safely (temp + fsync +
+// rename + directory fsync). It is the default under a catalog's
+// `snapshots/` directory and doubles as the server side of a shared blob
+// tier when exposed through BlobServer.
+type LocalStore struct {
+	dir string
+
+	pinMu sync.Mutex // guards the pin file
+}
+
+// pinsName is the pin registry inside a LocalStore directory: one sha
+// per line for every blob adopted from a peer (see blobPinner). The
+// leading dot keeps it out of List and CleanTemps.
+const pinsName = ".pins"
+
+// NewLocalStore opens (creating if needed) a local blob directory.
+func NewLocalStore(dir string) (*LocalStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &LocalStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *LocalStore) Dir() string { return s.dir }
+
+func (s *LocalStore) path(sha string) string {
+	return filepath.Join(s.dir, sha+snapExt)
+}
+
+// Put streams r into the store under sha via the crash-safe temp+rename
+// protocol. An existing address is left untouched.
+func (s *LocalStore) Put(sha string, r io.Reader) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	final := s.path(sha)
+	if _, err := os.Stat(final); err == nil {
+		return nil // dedup: identical content already present
+	}
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d-%d-put", os.Getpid(), tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// PutFile adopts an already-written snapshot file by rename (same
+// filesystem) or by streaming copy (cross-device), consuming path.
+func (s *LocalStore) PutFile(sha, path string) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	final := s.path(sha)
+	if _, err := os.Stat(final); err == nil {
+		return os.Remove(path) // dedup
+	}
+	if err := os.Rename(path, final); err == nil {
+		return syncDir(s.dir)
+	}
+	// Cross-device (or otherwise un-renameable) source: stream it in.
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	perr := s.Put(sha, f)
+	f.Close()
+	if perr != nil {
+		return perr
+	}
+	return os.Remove(path)
+}
+
+// Open streams the blob.
+func (s *LocalStore) Open(sha string) (io.ReadCloser, error) {
+	if err := checkSHA(sha); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.path(sha))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, ShortSHA(sha))
+	}
+	return f, err
+}
+
+// Fetch returns the blob's path — the file is already local.
+func (s *LocalStore) Fetch(sha string) (string, error) {
+	if err := checkSHA(sha); err != nil {
+		return "", err
+	}
+	p := s.path(sha)
+	if _, err := os.Stat(p); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", fmt.Errorf("%w: %s", ErrBlobNotFound, ShortSHA(sha))
+		}
+		return "", err
+	}
+	return p, nil
+}
+
+// BlobSize reports the on-disk size for recovery's truncation check.
+func (s *LocalStore) BlobSize(sha string) (int64, error) {
+	st, err := os.Stat(s.path(sha))
+	if err != nil {
+		return -1, err
+	}
+	return st.Size(), nil
+}
+
+// Delete unlinks the blob (and drops any pin — an explicit delete is
+// the operator overriding peer protection). Open handles and mappings
+// stay valid (unix unlink semantics); deleting a missing blob is a
+// no-op.
+func (s *LocalStore) Delete(sha string) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	s.unpin(sha)
+	err := os.Remove(s.path(sha))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// PinBlob marks sha as externally referenced (idempotent, best-effort
+// durable: the pin file is fsync'd so a hub crash right after a peer
+// upload cannot forget the protection).
+func (s *LocalStore) PinBlob(sha string) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	pins := s.readPinsLocked()
+	for _, p := range pins {
+		if p == sha {
+			return nil
+		}
+	}
+	return s.writePinsLocked(append(pins, sha))
+}
+
+// PinnedBlobs lists externally referenced blobs.
+func (s *LocalStore) PinnedBlobs() []string {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return s.readPinsLocked()
+}
+
+// UnpinBlob drops a pin without touching the blob (used to roll back a
+// pin taken ahead of a failed adoption).
+func (s *LocalStore) UnpinBlob(sha string) { s.unpin(sha) }
+
+func (s *LocalStore) unpin(sha string) {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	pins := s.readPinsLocked()
+	kept := pins[:0]
+	for _, p := range pins {
+		if p != sha {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) != len(pins) {
+		s.writePinsLocked(kept)
+	}
+}
+
+func (s *LocalStore) readPinsLocked() []string {
+	raw, err := os.ReadFile(filepath.Join(s.dir, pinsName))
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); shaRE.MatchString(line) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func (s *LocalStore) writePinsLocked(pins []string) error {
+	tmp := filepath.Join(s.dir, pinsName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, p := range pins {
+		if _, err := f.WriteString(p + "\n"); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, pinsName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// BlobTempDir keeps upload spools on the store's filesystem.
+func (s *LocalStore) BlobTempDir() string { return s.dir }
+
+// List enumerates the stored content addresses.
+func (s *LocalStore) List() ([]string, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		sha, ok := strings.CutSuffix(de.Name(), snapExt)
+		if ok && shaRE.MatchString(sha) {
+			out = append(out, sha)
+		}
+	}
+	return out, nil
+}
+
+// Quarantine moves the blob to dest; no local copy is a no-op.
+func (s *LocalStore) Quarantine(sha, dest string) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	p := s.path(sha)
+	if _, err := os.Stat(p); err != nil {
+		return nil
+	}
+	if err := os.Rename(p, dest); err != nil {
+		return os.Remove(p)
+	}
+	return nil
+}
+
+// CleanTemps removes stale ".tmp-*" files (crash leftovers) and reports
+// what it deleted.
+func (s *LocalStore) CleanTemps() []string {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var removed []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasPrefix(de.Name(), ".tmp-") {
+			if os.Remove(filepath.Join(s.dir, de.Name())) == nil {
+				removed = append(removed, de.Name())
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,293 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// snapshotBlob writes a real .gds snapshot for spec/seed into dir and
+// returns its content address and raw bytes. Conformance tests use real
+// snapshots because the remote path (BlobServer PUT, RemoteStore fetch
+// admission) verifies blobs structurally before accepting them.
+func snapshotBlob(t *testing.T, dir, spec string, seed uint64) (sha string, raw []byte) {
+	t.Helper()
+	g := mustGen(t, spec, seed)
+	path := filepath.Join(dir, "blob.gds")
+	h, err := WriteSnapshot(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(path)
+	return h.SHAHex(), raw
+}
+
+// blobStoreImpls enumerates the implementations under conformance test.
+// shared reports shared-tier semantics: Delete/Quarantine touch only the
+// local cache, so a later read re-materializes the blob instead of
+// failing.
+func blobStoreImpls(t *testing.T) map[string]func(t *testing.T) (bs BlobStore, shared bool) {
+	return map[string]func(t *testing.T) (BlobStore, bool){
+		"local": func(t *testing.T) (BlobStore, bool) {
+			ls, err := NewLocalStore(filepath.Join(t.TempDir(), "blobs"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ls, false
+		},
+		"remote": func(t *testing.T) (BlobStore, bool) {
+			// The remote tier is a LocalStore exposed over HTTP by
+			// BlobServer — exactly what a peer daemon serves.
+			tier, err := NewLocalStore(filepath.Join(t.TempDir(), "tier"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(http.StripPrefix("/v2/blobs", BlobServer(tier, nil)))
+			t.Cleanup(ts.Close)
+			rs, err := NewRemoteStore(ts.URL, filepath.Join(t.TempDir(), "cache"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rs, true
+		},
+	}
+}
+
+// TestBlobStoreConformance runs the backend contract against every
+// implementation: byte identity through Put/Open/Fetch, idempotent puts,
+// not-found reporting, delete/quarantine semantics, and safety of
+// concurrent Open while Delete/Put churn the same address.
+func TestBlobStoreConformance(t *testing.T) {
+	for name, mk := range blobStoreImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Run("PutOpenFetchByteIdentity", func(t *testing.T) {
+				bs, _ := mk(t)
+				sha, raw := snapshotBlob(t, t.TempDir(), "mesh:12", 1)
+				if err := bs.Put(sha, bytes.NewReader(raw)); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+				rc, err := bs.Open(sha)
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				got, err := io.ReadAll(rc)
+				rc.Close()
+				if err != nil || !bytes.Equal(got, raw) {
+					t.Fatalf("Open returned %d bytes (err=%v), want %d identical", len(got), err, len(raw))
+				}
+				p, err := bs.Fetch(sha)
+				if err != nil {
+					t.Fatalf("Fetch: %v", err)
+				}
+				got, err = os.ReadFile(p)
+				if err != nil || !bytes.Equal(got, raw) {
+					t.Fatalf("Fetch materialized %d bytes (err=%v), want %d identical", len(got), err, len(raw))
+				}
+				// The materialized file must be a loadable snapshot.
+				ld, err := LoadSnapshot(p)
+				if err != nil {
+					t.Fatalf("LoadSnapshot on fetched blob: %v", err)
+				}
+				ld.Close()
+				shas, err := bs.List()
+				if err != nil {
+					t.Fatalf("List: %v", err)
+				}
+				found := false
+				for _, s := range shas {
+					found = found || s == sha
+				}
+				if !found {
+					t.Fatalf("List %v does not contain %s", shas, ShortSHA(sha))
+				}
+			})
+
+			t.Run("PutIdempotent", func(t *testing.T) {
+				bs, _ := mk(t)
+				sha, raw := snapshotBlob(t, t.TempDir(), "mesh:10", 2)
+				for i := 0; i < 2; i++ {
+					if err := bs.Put(sha, bytes.NewReader(raw)); err != nil {
+						t.Fatalf("Put #%d: %v", i+1, err)
+					}
+				}
+				p, err := bs.Fetch(sha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, _ := os.ReadFile(p); !bytes.Equal(got, raw) {
+					t.Fatal("double Put corrupted the blob")
+				}
+			})
+
+			t.Run("MissingBlob", func(t *testing.T) {
+				bs, _ := mk(t)
+				missing := "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+				if _, err := bs.Open(missing); !errors.Is(err, ErrBlobNotFound) {
+					t.Fatalf("Open missing: %v, want ErrBlobNotFound", err)
+				}
+				if _, err := bs.Fetch(missing); !errors.Is(err, ErrBlobNotFound) {
+					t.Fatalf("Fetch missing: %v, want ErrBlobNotFound", err)
+				}
+				if err := bs.Delete(missing); err != nil {
+					t.Fatalf("Delete missing should be a no-op: %v", err)
+				}
+				if _, err := bs.Open("../../etc/passwd"); err == nil {
+					t.Fatal("path-traversal key accepted")
+				}
+			})
+
+			t.Run("DeleteSemantics", func(t *testing.T) {
+				bs, shared := mk(t)
+				sha, raw := snapshotBlob(t, t.TempDir(), "mesh:11", 3)
+				if err := bs.Put(sha, bytes.NewReader(raw)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := bs.Fetch(sha); err != nil {
+					t.Fatal(err)
+				}
+				if err := bs.Delete(sha); err != nil {
+					t.Fatal(err)
+				}
+				p, err := bs.Fetch(sha)
+				if shared {
+					// Shared tier: only the cache copy dropped; the blob
+					// re-materializes bit-identical from the tier.
+					if err != nil {
+						t.Fatalf("shared-tier Fetch after Delete: %v", err)
+					}
+					if got, _ := os.ReadFile(p); !bytes.Equal(got, raw) {
+						t.Fatal("re-fetched blob differs")
+					}
+				} else if !errors.Is(err, ErrBlobNotFound) {
+					t.Fatalf("local Fetch after Delete: %v, want ErrBlobNotFound", err)
+				}
+			})
+
+			t.Run("QuarantineSemantics", func(t *testing.T) {
+				bs, shared := mk(t)
+				sha, raw := snapshotBlob(t, t.TempDir(), "mesh:13", 4)
+				if err := bs.Put(sha, bytes.NewReader(raw)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := bs.Fetch(sha); err != nil {
+					t.Fatal(err)
+				}
+				dest := filepath.Join(t.TempDir(), "quarantined.gds")
+				if err := bs.Quarantine(sha, dest); err != nil {
+					t.Fatal(err)
+				}
+				if got, err := os.ReadFile(dest); err != nil || !bytes.Equal(got, raw) {
+					t.Fatalf("quarantine destination missing or differs (err=%v)", err)
+				}
+				if _, err := bs.Fetch(sha); !shared && !errors.Is(err, ErrBlobNotFound) {
+					t.Fatalf("local Fetch after Quarantine: %v, want ErrBlobNotFound", err)
+				}
+			})
+
+			t.Run("ConcurrentOpenWhileDelete", func(t *testing.T) {
+				bs, _ := mk(t)
+				sha, raw := snapshotBlob(t, t.TempDir(), "mesh:9", 5)
+				if err := bs.Put(sha, bytes.NewReader(raw)); err != nil {
+					t.Fatal(err)
+				}
+				const readers, iters = 4, 25
+				var wg sync.WaitGroup
+				errCh := make(chan error, readers*iters+iters)
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < iters; i++ {
+							rc, err := bs.Open(sha)
+							if err != nil {
+								if !errors.Is(err, ErrBlobNotFound) {
+									errCh <- err
+								}
+								continue
+							}
+							got, err := io.ReadAll(rc)
+							rc.Close()
+							// A successful read must never observe a
+							// torn or partial blob.
+							if err == nil && !bytes.Equal(got, raw) {
+								errCh <- errors.New("read observed non-identical bytes")
+							}
+						}
+					}()
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						if err := bs.Delete(sha); err != nil {
+							errCh <- err
+						}
+						if err := bs.Put(sha, bytes.NewReader(raw)); err != nil {
+							errCh <- err
+						}
+					}
+				}()
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// TestBlobServerRejectsMismatchedUpload pins the shared tier's admission
+// check: a PUT whose bytes do not hash to the claimed address must be
+// refused, or one buggy fleet member could poison every peer.
+func TestBlobServerRejectsMismatchedUpload(t *testing.T) {
+	tier, err := NewLocalStore(filepath.Join(t.TempDir(), "tier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.StripPrefix("/v2/blobs", BlobServer(tier, nil)))
+	defer ts.Close()
+
+	sha, raw := snapshotBlob(t, t.TempDir(), "mesh:8", 6)
+	wrong := "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+	put := func(addr string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v2/blobs/"+addr, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := put(wrong, raw); code != http.StatusBadRequest {
+		t.Fatalf("mismatched upload accepted with status %d", code)
+	}
+	corrupt := append([]byte(nil), raw...)
+	corrupt[pageSize+16] ^= 0x01 // flip a payload byte: address no longer matches
+	if code := put(sha, corrupt); code != http.StatusBadRequest {
+		t.Fatalf("corrupted upload accepted with status %d", code)
+	}
+	if code := put(sha, raw); code != http.StatusCreated {
+		t.Fatalf("honest upload refused with status %d", code)
+	}
+	if _, err := tier.Fetch(sha); err != nil {
+		t.Fatalf("tier did not store the honest upload: %v", err)
+	}
+	if shas, _ := tier.List(); len(shas) != 1 {
+		t.Fatalf("tier holds %d blobs, want exactly the honest one", len(shas))
+	}
+}

@@ -22,6 +22,11 @@ import (
 // ErrNotFound reports a lookup of an uncataloged dataset name.
 var ErrNotFound = errors.New("dataset: not found")
 
+// ErrBudgetExceeded reports an ingest whose snapshot cannot fit the
+// catalog's byte budget at all. It is a capacity condition, not a client
+// mistake — the server maps it to 507, not 400.
+var ErrBudgetExceeded = errors.New("dataset: byte budget exceeded")
+
 // Directory layout under the catalog root:
 //
 //	manifest.json        name → snapshot mapping (atomic rename + fsync)
@@ -42,9 +47,16 @@ type Options struct {
 	// ByteBudget caps the total bytes of unique snapshot files; ingests
 	// that push past it evict the least recently used datasets. 0 means
 	// unlimited. A single snapshot larger than the budget is rejected.
+	// With a remote backend the budget governs the local cache footprint.
 	ByteBudget int64
-	// Log receives recovery/quarantine/eviction notices; nil disables.
+	// Log receives recovery/quarantine/eviction/sweep notices; nil
+	// disables.
 	Log *log.Logger
+	// Blobs selects the snapshot storage tier. Nil uses the default
+	// LocalStore under the catalog directory's snapshots/ subdirectory;
+	// a RemoteStore makes this node serve from (and publish to) a shared
+	// HTTP blob tier while keeping its manifest local.
+	Blobs BlobStore
 }
 
 // Info describes one cataloged dataset. Two names may share a SHA (and
@@ -76,16 +88,22 @@ type manifest struct {
 // either the old or the new state plus, at worst, orphan files that the
 // next Open garbage-collects.
 type Catalog struct {
-	dir  string
-	opts Options
+	dir   string
+	opts  Options
+	blobs BlobStore
 
 	lock *os.File // exclusive advisory lock held for the catalog's life
 
-	mu      sync.Mutex
-	entries map[string]*Info
-	mapped  map[string]*Loaded // open snapshots keyed by SHA; released at Close
-	dirty   bool               // in-memory state (incl. recency) ahead of manifest.json
-	now     func() time.Time
+	mu         sync.Mutex
+	entries    map[string]*Info
+	mapped     map[string]*Loaded // open snapshots keyed by SHA; released at Close
+	publishing map[string]int     // blob publishes in flight, not yet manifest-referenced
+	dirty      bool               // in-memory state (incl. recency) ahead of manifest.json
+	now        func() time.Time
+
+	sweepMu   sync.Mutex
+	sweep     SweepStatus
+	sweepStop func() // stops a running background sweeper; nil when none
 }
 
 // tmpSeq disambiguates concurrent ingest temp files within one process.
@@ -104,8 +122,13 @@ var tmpSeq atomic.Uint64
 // stale manifest view could roll back entries the first just ingested,
 // and its orphan collection would then delete their snapshots.
 func Open(dir string, opts Options) (*Catalog, error) {
-	for _, d := range []string{dir, filepath.Join(dir, snapshotsDir)} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	blobs := opts.Blobs
+	if blobs == nil {
+		var err error
+		if blobs, err = NewLocalStore(filepath.Join(dir, snapshotsDir)); err != nil {
 			return nil, err
 		}
 	}
@@ -113,8 +136,9 @@ func Open(dir string, opts Options) (*Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Catalog{dir: dir, opts: opts, lock: lock,
-		entries: map[string]*Info{}, mapped: map[string]*Loaded{}, now: time.Now}
+	c := &Catalog{dir: dir, opts: opts, blobs: blobs, lock: lock,
+		entries: map[string]*Info{}, mapped: map[string]*Loaded{},
+		publishing: map[string]int{}, now: time.Now}
 
 	dirty, err := c.recover()
 	if err != nil {
@@ -167,10 +191,23 @@ func (c *Catalog) recover() (dirty bool, err error) {
 	}
 
 	// Validate every referenced snapshot cheaply (header page only).
+	// Backend-unavailable is not corruption: a boot while the shared
+	// blob tier is down must not quarantine the whole manifest. Nor is
+	// a 404 from a shared tier — the blob may be momentarily gone (hub
+	// mid-restore, re-upload pending) and dropping the entry would turn
+	// a recoverable tier gap into permanent manifest loss; keep it and
+	// let queries 404 until the tier heals.
+	_, sharedTier := c.blobs.(nameResolver)
 	for name, in := range c.entries {
-		path := c.snapPath(in.SHA256)
-		if verr := c.checkEntry(in, path); verr != nil {
-			c.quarantine(path)
+		verr := c.checkEntry(in)
+		switch {
+		case verr == nil:
+		case errors.Is(verr, ErrBackendUnavailable):
+			c.logf("skipping boot check of dataset %q (%s): %v", name, ShortSHA(in.SHA256), verr)
+		case sharedTier && errors.Is(verr, ErrBlobNotFound):
+			c.logf("dataset %q (%s) missing from the shared tier; keeping the entry", name, ShortSHA(in.SHA256))
+		default:
+			c.quarantineBlob(in.SHA256)
 			delete(c.entries, name)
 			c.logf("quarantined dataset %q (%s): %v", name, ShortSHA(in.SHA256), verr)
 			dirty = true
@@ -178,21 +215,42 @@ func (c *Catalog) recover() (dirty bool, err error) {
 	}
 
 	// Garbage-collect temporaries and orphans left by crashes between
-	// snapshot rename and manifest publication.
+	// snapshot publication and manifest publication. For a remote
+	// backend this prunes the local cache only. Pinned blobs — peer
+	// uploads whose manifests live on other nodes — count as referenced
+	// even though this manifest has never heard of them.
 	referenced := map[string]bool{}
 	for _, in := range c.entries {
-		referenced[in.SHA256+snapExt] = true
+		referenced[in.SHA256] = true
 	}
-	des, err := os.ReadDir(filepath.Join(c.dir, snapshotsDir))
+	if pinner, ok := c.blobs.(blobPinner); ok {
+		for _, sha := range pinner.PinnedBlobs() {
+			referenced[sha] = true
+		}
+	}
+	shas, err := c.blobs.List()
 	if err != nil {
 		return false, err
 	}
-	for _, de := range des {
-		if de.IsDir() || referenced[de.Name()] {
+	for _, sha := range shas {
+		if referenced[sha] {
 			continue
 		}
-		os.Remove(filepath.Join(c.dir, snapshotsDir, de.Name()))
-		c.logf("removed orphan snapshot file %s", de.Name())
+		if c.blobs.Delete(sha) == nil {
+			c.logf("removed orphan snapshot blob %s", ShortSHA(sha))
+		}
+	}
+	if tc, ok := c.blobs.(tempCleaner); ok {
+		for _, name := range tc.CleanTemps() {
+			c.logf("removed stale temporary %s", name)
+		}
+	}
+	// Stale ingest staging files live in the catalog root itself.
+	if staged, _ := filepath.Glob(filepath.Join(c.dir, ".ingest-*")); len(staged) > 0 {
+		for _, p := range staged {
+			os.Remove(p)
+			c.logf("removed stale ingest staging file %s", filepath.Base(p))
+		}
 	}
 	return dirty, nil
 }
@@ -207,29 +265,32 @@ func ShortSHA(sha string) string {
 	return sha
 }
 
-// checkEntry runs the O(1) load-path validation of one manifest entry.
-func (c *Catalog) checkEntry(in *Info, path string) error {
-	f, err := os.Open(path)
+// checkEntry runs the O(1) load-path validation of one manifest entry
+// through the blob backend (header page only; no full download).
+func (c *Catalog) checkEntry(in *Info) error {
+	rc, err := c.blobs.Open(in.SHA256)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
+	defer rc.Close()
 	buf := make([]byte, pageSize)
-	if _, err := io.ReadFull(f, buf); err != nil {
+	if _, err := io.ReadFull(rc, buf); err != nil {
 		return fmt.Errorf("short header: %w", err)
 	}
-	h, _, err := decodeHeader(buf, st.Size())
+	size := int64(-1) // unknown (e.g. uncached remote blob): skip the size check
+	if bz, ok := c.blobs.(blobSizer); ok {
+		if sz, err := bz.BlobSize(in.SHA256); err == nil {
+			size = sz
+		}
+	}
+	h, _, err := decodeHeader(buf, size)
 	if err != nil {
 		return err
 	}
 	if h.SHAHex() != in.SHA256 {
 		return fmt.Errorf("content address %s does not match manifest %s", ShortSHA(h.SHAHex()), ShortSHA(in.SHA256))
 	}
-	if h.NumNodes != in.NumNodes || h.NumEdges != in.NumEdges || st.Size() != in.Bytes {
+	if h.NumNodes != in.NumNodes || h.NumEdges != in.NumEdges || h.FileBytes != in.Bytes {
 		return fmt.Errorf("header shape disagrees with manifest")
 	}
 	return nil
@@ -248,8 +309,14 @@ func (c *Catalog) quarantine(path string) {
 	}
 }
 
-func (c *Catalog) snapPath(sha string) string {
-	return filepath.Join(c.dir, snapshotsDir, sha+snapExt)
+// quarantineBlob sets the local copy of a suspect blob aside (best
+// effort). For a remote backend only the cache copy moves — the shared
+// tier is never mutated on suspicion.
+func (c *Catalog) quarantineBlob(sha string) {
+	qdir := filepath.Join(c.dir, quarantineDir)
+	os.MkdirAll(qdir, 0o755)
+	dst := filepath.Join(qdir, fmt.Sprintf("%d-%s%s", c.now().UnixNano(), sha, snapExt))
+	c.blobs.Quarantine(sha, dst)
 }
 
 // saveManifestLocked publishes the current entries atomically: write tmp,
@@ -307,13 +374,15 @@ func syncDir(dir string) error {
 // dataset's Info.
 func (c *Catalog) IngestGraph(name string, g *graph.Graph, format, source string) (Info, error) {
 	if !nameRE.MatchString(name) {
-		return Info{}, fmt.Errorf("dataset: invalid name %q (want %s)", name, nameRE)
+		return Info{}, &BadInputError{Err: fmt.Errorf("dataset: invalid name %q (want %s)", name, nameRE)}
 	}
-	// The temp name must be unique per call, not per name: two concurrent
-	// ingests of the same name writing one file would interleave into a
-	// snapshot whose payload no longer matches its content address.
-	tmp := filepath.Join(c.dir, snapshotsDir,
-		fmt.Sprintf(".tmp-%d-%d-%s", os.Getpid(), tmpSeq.Add(1), name))
+	// The staging name must be unique per call, not per name: two
+	// concurrent ingests of the same name writing one file would
+	// interleave into a snapshot whose payload no longer matches its
+	// content address. Staging lives in the catalog root (same
+	// filesystem as a local blob dir, so publication is a rename).
+	tmp := filepath.Join(c.dir,
+		fmt.Sprintf(".ingest-%d-%d-%s", os.Getpid(), tmpSeq.Add(1), name))
 	h, err := WriteSnapshot(tmp, g)
 	if err != nil {
 		os.Remove(tmp)
@@ -321,25 +390,31 @@ func (c *Catalog) IngestGraph(name string, g *graph.Graph, format, source string
 	}
 	if c.opts.ByteBudget > 0 && h.FileBytes > c.opts.ByteBudget {
 		os.Remove(tmp)
-		return Info{}, fmt.Errorf("dataset: snapshot of %q needs %d bytes, budget is %d",
-			name, h.FileBytes, c.opts.ByteBudget)
+		return Info{}, fmt.Errorf("%w: snapshot of %q needs %d bytes, budget is %d",
+			ErrBudgetExceeded, name, h.FileBytes, c.opts.ByteBudget)
 	}
 	sha := h.SHAHex()
 
+	// Publish the blob before the manifest references it (crash-safe
+	// ordering; a crash in between leaves an orphan the next Open GCs).
+	// Deliberately outside c.mu — a remote backend uploads here — but
+	// the address is marked in-flight so a concurrent Remove/eviction of
+	// another name that dedups onto the same sha cannot delete the blob
+	// in the window between publication and the manifest insert.
+	c.mu.Lock()
+	c.publishing[sha]++
+	c.mu.Unlock()
+	err = putBlobFile(c.blobs, sha, tmp)
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-
-	final := c.snapPath(sha)
-	if _, err := os.Stat(final); err == nil {
-		os.Remove(tmp) // dedup: identical content already on disk
-	} else {
-		if err := os.Rename(tmp, final); err != nil {
-			os.Remove(tmp)
-			return Info{}, err
-		}
-		if err := syncDir(filepath.Join(c.dir, snapshotsDir)); err != nil {
-			return Info{}, err
-		}
+	c.publishing[sha]--
+	if c.publishing[sha] <= 0 {
+		delete(c.publishing, sha)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return Info{}, err
 	}
 
 	nowT := c.now()
@@ -357,7 +432,7 @@ func (c *Catalog) IngestGraph(name string, g *graph.Graph, format, source string
 	old := c.entries[name]
 	c.entries[name] = in
 	if old != nil && old.SHA256 != sha {
-		c.removeFileIfUnreferencedLocked(old.SHA256)
+		c.removeBlobIfUnreferencedLocked(old.SHA256)
 	}
 	c.evictLocked(name)
 	if err := c.saveManifestLocked(); err != nil {
@@ -389,7 +464,7 @@ func (c *Catalog) evictLocked(keep string) {
 		}
 		in := c.entries[victim]
 		delete(c.entries, victim)
-		c.removeFileIfUnreferencedLocked(in.SHA256)
+		c.removeBlobIfUnreferencedLocked(in.SHA256)
 		c.logf("evicted dataset %q (%d bytes) for byte budget %d", victim, in.Bytes, c.opts.ByteBudget)
 	}
 }
@@ -407,15 +482,29 @@ func (c *Catalog) totalBytesLocked() int64 {
 	return total
 }
 
-// removeFileIfUnreferencedLocked unlinks a snapshot file once no entry
-// names it. Caller holds c.mu.
-func (c *Catalog) removeFileIfUnreferencedLocked(sha string) {
+// removeBlobIfUnreferencedLocked drops a blob's local presence once
+// nothing needs it: no manifest entry, no publish in flight (a
+// concurrent ingest that deduped onto the address and has not inserted
+// its entry yet), and no pin (a peer's upload whose manifest lives
+// elsewhere). A remote backend's Delete only drops the cache copy
+// either way. Caller holds c.mu.
+func (c *Catalog) removeBlobIfUnreferencedLocked(sha string) {
 	for _, in := range c.entries {
 		if in.SHA256 == sha {
 			return
 		}
 	}
-	os.Remove(c.snapPath(sha))
+	if c.publishing[sha] > 0 {
+		return
+	}
+	if pinner, ok := c.blobs.(blobPinner); ok {
+		for _, p := range pinner.PinnedBlobs() {
+			if p == sha {
+				return
+			}
+		}
+	}
+	c.blobs.Delete(sha)
 }
 
 // Load opens the named dataset, zero-copy when the platform allows. The
@@ -433,6 +522,13 @@ func (c *Catalog) Load(name string) (*Loaded, error) {
 	in, ok := c.entries[name]
 	if !ok {
 		c.mu.Unlock()
+		// A name absent from the local manifest may exist on a peer
+		// sharing the blob tier: adopt its record and retry.
+		if adopted, err := c.adoptRemote(name); err != nil {
+			return nil, err
+		} else if adopted {
+			return c.Load(name)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	sha := in.SHA256
@@ -444,12 +540,16 @@ func (c *Catalog) Load(name string) (*Loaded, error) {
 		c.mu.Unlock()
 		return ld, nil
 	}
-	path := c.snapPath(sha)
 	c.mu.Unlock()
 
-	ld, err := LoadSnapshot(path)
-	if errors.Is(err, os.ErrNotExist) {
-		// The file vanished between the lookup and the open: a concurrent
+	// Materialize outside the lock: a remote backend downloads here.
+	path, err := c.blobs.Fetch(sha)
+	var ld *Loaded
+	if err == nil {
+		ld, err = LoadSnapshot(path)
+	}
+	if errors.Is(err, ErrBlobNotFound) || errors.Is(err, os.ErrNotExist) {
+		// The blob vanished between the lookup and the open: a concurrent
 		// re-ingest or eviction unlinked that SHA. The name may well still
 		// exist (pointing at a new snapshot) — retry the whole lookup
 		// rather than surfacing a spurious not-exist for a live dataset.
@@ -476,7 +576,54 @@ func (c *Catalog) Load(name string) (*Loaded, error) {
 	return ld, nil
 }
 
-// Info returns the named dataset's catalog record.
+// adoptRemote pulls a peer's record for name into the local manifest
+// when the blob backend can resolve names (a RemoteStore pointed at a
+// daemon). Reports whether an entry was adopted. An unreachable backend
+// degrades to plain not-found — a fleet member must keep answering 404s,
+// not 502s, for genuinely unknown names while the tier is down.
+func (c *Catalog) adoptRemote(name string) (bool, error) {
+	nr, ok := c.blobs.(nameResolver)
+	if !ok {
+		return false, nil
+	}
+	in, err := nr.LookupName(name)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return false, nil
+	case errors.Is(err, ErrBackendUnavailable):
+		c.logf("remote lookup of %q failed: %v", name, err)
+		return false, nil
+	case err != nil:
+		return false, err
+	}
+	if !nameRE.MatchString(in.Name) {
+		return false, fmt.Errorf("dataset: remote record for %q has invalid name", name)
+	}
+	// The single-snapshot budget rule applies to adoptions exactly as it
+	// does to local ingests: the budget governs the cache footprint, and
+	// adopting a record whose blob cannot fit would evict everything and
+	// still blow the cap on the subsequent fetch.
+	if c.opts.ByteBudget > 0 && in.Bytes > c.opts.ByteBudget {
+		return false, fmt.Errorf("%w: remote dataset %q needs %d bytes, budget is %d",
+			ErrBudgetExceeded, name, in.Bytes, c.opts.ByteBudget)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[name]; exists {
+		return true, nil // raced with a local ingest or another adopter
+	}
+	cp := in
+	cp.LastUsedAt = c.now()
+	c.entries[name] = &cp
+	c.dirty = true
+	c.evictLocked(name)
+	c.logf("adopted dataset %q (%s) from remote backend", name, ShortSHA(cp.SHA256))
+	return true, nil
+}
+
+// Info returns the named dataset's catalog record. It is strictly local
+// — a fleet member's own manifest; use Resolve to also consult a remote
+// backend.
 func (c *Catalog) Info(name string) (Info, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -485,6 +632,24 @@ func (c *Catalog) Info(name string) (Info, error) {
 		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return *in, nil
+}
+
+// Resolve returns the record for name, adopting it from the remote
+// backend when the local manifest does not know it — the lookup the
+// store's job layer uses so a job naming a peer-ingested dataset is
+// submittable on any fleet member. Purely local for local backends.
+func (c *Catalog) Resolve(name string) (Info, error) {
+	if in, err := c.Info(name); err == nil {
+		return in, nil
+	}
+	adopted, err := c.adoptRemote(name)
+	if err != nil {
+		return Info{}, err
+	}
+	if !adopted {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return c.Info(name)
 }
 
 // List returns all datasets sorted by name.
@@ -516,22 +681,24 @@ func (c *Catalog) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(c.entries, name)
-	c.removeFileIfUnreferencedLocked(in.SHA256)
+	c.removeBlobIfUnreferencedLocked(in.SHA256)
 	return c.saveManifestLocked()
 }
 
 // Verify deep-checks the named dataset's snapshot: payload hash, CSR
-// invariants, and cached statistics.
+// invariants, and cached statistics. Names resolve through the backend
+// (Resolve), so `dataset -remote URL verify usa` audits a peer-ingested
+// dataset end to end: the record adopts, the blob materializes through
+// the admission check, and the deep verification runs on real bytes.
 func (c *Catalog) Verify(name string) (Info, error) {
-	c.mu.Lock()
-	in, ok := c.entries[name]
-	if !ok {
-		c.mu.Unlock()
-		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	cp, err := c.Resolve(name)
+	if err != nil {
+		return Info{}, err
 	}
-	path := c.snapPath(in.SHA256)
-	cp := *in
-	c.mu.Unlock()
+	path, err := c.blobs.Fetch(cp.SHA256)
+	if err != nil {
+		return Info{}, err
+	}
 	if _, err := VerifySnapshot(path); err != nil {
 		return Info{}, err
 	}
@@ -540,6 +707,27 @@ func (c *Catalog) Verify(name string) (Info, error) {
 
 // Dir returns the catalog's root directory.
 func (c *Catalog) Dir() string { return c.dir }
+
+// Blobs returns the catalog's snapshot storage tier (what BlobServer
+// exposes over HTTP).
+func (c *Catalog) Blobs() BlobStore { return c.blobs }
+
+// ReferencesBlob reports whether this catalog still needs sha: a
+// manifest entry names it or a publish is in flight. It is the
+// referential guard the served blob tier's DELETE consults.
+func (c *Catalog) ReferencesBlob(sha string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.publishing[sha] > 0 {
+		return true
+	}
+	for _, in := range c.entries {
+		if in.SHA256 == sha {
+			return true
+		}
+	}
+	return false
+}
 
 // ParseByteSize parses a byte count with an optional K/M/G/T suffix
 // (powers of 1024), the grammar of the -dataset-budget flags. Empty means
@@ -570,11 +758,22 @@ func ParseByteSize(s string) (int64, error) {
 	return v * mult, nil
 }
 
-// Close flushes pending recency updates (only when something actually
-// changed — a read-only session must not rewrite the manifest), releases
-// every mapping handed out by Load, and drops the catalog's directory
-// lock. Graphs served from the mappings must no longer be in use.
+// Close stops any background sweeper, flushes pending recency updates
+// (only when something actually changed — a read-only session must not
+// rewrite the manifest), releases every mapping handed out by Load, and
+// drops the catalog's directory lock. Graphs served from the mappings
+// must no longer be in use.
 func (c *Catalog) Close() error {
+	// Stop the sweeper before taking c.mu: a sweep in flight holds the
+	// lock briefly while it drops entries, so joining it under the lock
+	// would deadlock.
+	c.sweepMu.Lock()
+	stop := c.sweepStop
+	c.sweepStop = nil
+	c.sweepMu.Unlock()
+	if stop != nil {
+		stop()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var err error

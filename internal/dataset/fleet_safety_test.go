@@ -1,0 +1,323 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHubRestartPreservesPeerUploadedBlobs pins the fleet-safety
+// property of the orphan GC: a blob a peer published through the hub's
+// /v2/blobs (whose name lives only in the peer's manifest) is pinned on
+// upload and must survive the hub's boot-time garbage collection, which
+// would otherwise see it as unreferenced and delete the fleet's only
+// copy.
+func TestHubRestartPreservesPeerUploadedBlobs(t *testing.T) {
+	dir := t.TempDir()
+	hub, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hub has a dataset of its own, so recovery has real work to do.
+	if _, err := hub.IngestGraph("own", mustGen(t, "mesh:8", 1), FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// A peer uploads a blob through the hub's served tier.
+	sha, raw := snapshotBlob(t, t.TempDir(), "mesh:14", 9)
+	ts := httptest.NewServer(http.StripPrefix("/v2/blobs", BlobServer(hub.Blobs(), nil)))
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v2/blobs/"+sha, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("peer upload status %d", resp.StatusCode)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hub restart: recovery GC runs; the pinned peer blob must survive.
+	hub2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	p, err := hub2.Blobs().Fetch(sha)
+	if err != nil {
+		t.Fatalf("peer-uploaded blob garbage-collected on hub restart: %v", err)
+	}
+	if got, _ := os.ReadFile(p); !bytes.Equal(got, raw) {
+		t.Fatal("peer blob bytes changed across restart")
+	}
+	if _, err := hub2.Load("own"); err != nil {
+		t.Fatalf("hub's own dataset lost: %v", err)
+	}
+
+	// An explicit tier-level delete is the operator overriding the
+	// protection: it unpins, and the next restart's GC stays clean.
+	if err := hub2.Blobs().Delete(sha); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub2.Blobs().Fetch(sha); !errors.Is(err, ErrBlobNotFound) {
+		t.Fatalf("blob present after explicit delete: %v", err)
+	}
+	if ls, ok := hub2.Blobs().(*LocalStore); ok && len(ls.PinnedBlobs()) != 0 {
+		t.Fatalf("pins left behind after delete: %v", ls.PinnedBlobs())
+	}
+}
+
+// TestRemoveSparesBlobBeingPublished pins the ingest/remove race guard:
+// while an ingest has published a blob but not yet inserted its manifest
+// entry, removing another name that shares the content address must not
+// delete the blob out from under the in-flight ingest.
+func TestRemoveSparesBlobBeingPublished(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := mustGen(t, "mesh:9", 2)
+	in, err := c.IngestGraph("first", g, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a second ingest of identical content caught between
+	// putBlobFile and its manifest insert.
+	c.mu.Lock()
+	c.publishing[in.SHA256]++
+	c.mu.Unlock()
+
+	if err := c.Remove("first"); err != nil {
+		t.Fatal(err)
+	}
+	blobPath := filepath.Join(dir, snapshotsDir, in.SHA256+snapExt)
+	if _, err := os.Stat(blobPath); err != nil {
+		t.Fatalf("blob deleted while a publish was in flight: %v", err)
+	}
+
+	// The in-flight ingest completes; its dataset must be loadable.
+	c.mu.Lock()
+	c.publishing[in.SHA256]--
+	delete(c.publishing, in.SHA256)
+	c.mu.Unlock()
+	if _, err := c.IngestGraph("second", g, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("second"); err != nil {
+		t.Fatalf("dataset broken after racing remove: %v", err)
+	}
+
+	// With no publish in flight and no references, removal deletes.
+	if err := c.Remove("second"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(blobPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("unreferenced blob survived")
+	}
+}
+
+// TestRemoteTierGapKeepsEntries pins the not-found/unavailable split for
+// shared tiers: a blob missing from the tier (hub lost it, re-upload
+// pending) must not make boot recovery or the sweeper drop the entry —
+// queries 404 until the tier heals, then everything works again.
+func TestRemoteTierGapKeepsEntries(t *testing.T) {
+	tier, err := NewLocalStore(filepath.Join(t.TempDir(), "tier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.StripPrefix("/v2/blobs", BlobServer(tier, nil)))
+	defer ts.Close()
+
+	dirB := t.TempDir()
+	cacheB := filepath.Join(dirB, "cache")
+	openB := func() *Catalog {
+		rs, err := NewRemoteStore(ts.URL, cacheB, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Open(dirB, Options{Blobs: rs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	c := openB()
+	g := mustGen(t, "mesh:10", 3)
+	in, err := c.IngestGraph("gapped", g, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tier loses the blob; B's cache copy evaporates too.
+	if err := tier.Delete(in.SHA256); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(cacheB, in.SHA256+snapExt))
+
+	c2 := openB()
+	defer c2.Close()
+	if _, err := c2.Info("gapped"); err != nil {
+		t.Fatalf("boot dropped the entry over a tier gap: %v", err)
+	}
+	if _, err := c2.Load("gapped"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("load during tier gap: %v, want ErrNotFound", err)
+	}
+	// The sweeper skips — it must not condemn.
+	for _, res := range c2.SweepOnce() {
+		if !res.Skipped {
+			t.Fatalf("sweep during tier gap: %+v, want skipped", res)
+		}
+	}
+	if st := c2.SweepStatus(); st.TotalQuarantined != 0 || st.LastSkipped != 1 {
+		t.Fatalf("sweep status during gap: %+v", st)
+	}
+	if _, err := c2.Info("gapped"); err != nil {
+		t.Fatalf("sweep dropped the entry over a tier gap: %v", err)
+	}
+
+	// The tier heals (re-upload of the identical snapshot); the same
+	// entry serves again with no manifest surgery.
+	reup := filepath.Join(t.TempDir(), "reup.gds")
+	h, err := WriteSnapshot(reup, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SHAHex() != in.SHA256 {
+		t.Fatalf("re-snapshot address %s != original %s", ShortSHA(h.SHAHex()), ShortSHA(in.SHA256))
+	}
+	f, err := os.Open(reup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tier.Put(in.SHA256, f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := c2.Load("gapped")
+	if err != nil {
+		t.Fatalf("load after tier healed: %v", err)
+	}
+	requireIdentical(t, g, ld.Graph)
+}
+
+// TestVerifyResolvesRemoteNames: `dataset -remote URL verify NAME` must
+// audit a dataset this node has never ingested — the record adopts from
+// the peer and the blob downloads through the admission check before the
+// deep verification runs.
+func TestVerifyResolvesRemoteNames(t *testing.T) {
+	tierDir := t.TempDir()
+	tier, err := Open(tierDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	g := mustGen(t, "mesh:11", 5)
+	in, err := tier.IngestGraph("published", g, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v2/blobs/", http.StripPrefix("/v2/blobs", BlobServer(tier.Blobs(), tier.ReferencesBlob)))
+	mux.HandleFunc("/v2/datasets/published", func(w http.ResponseWriter, _ *http.Request) {
+		rec, err := tier.Info("published")
+		if err != nil {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONBody(w, rec)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	dirB := t.TempDir()
+	rs, err := NewRemoteStore(ts.URL, filepath.Join(dirB, "cache"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dirB, Options{Blobs: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Verify("published")
+	if err != nil {
+		t.Fatalf("verify of a peer-only dataset: %v", err)
+	}
+	if got.SHA256 != in.SHA256 {
+		t.Fatalf("verified sha %s != ingested %s", ShortSHA(got.SHA256), ShortSHA(in.SHA256))
+	}
+	if _, err := c.Verify("neverexisted"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("verify of unknown name: %v, want ErrNotFound", err)
+	}
+}
+
+// writeJSONBody is a tiny test helper (the dataset package has no JSON
+// response plumbing of its own).
+func writeJSONBody(w http.ResponseWriter, v any) {
+	b, _ := json.Marshal(v)
+	w.Write(b)
+}
+
+// TestAdoptionRespectsByteBudget: a peer record whose snapshot cannot
+// fit the local budget is refused with the same typed error a local
+// over-budget ingest gets — never adopted, never downloaded.
+func TestAdoptionRespectsByteBudget(t *testing.T) {
+	tier, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	in, err := tier.IngestGraph("huge", mustGen(t, "mesh:12", 6), FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v2/blobs/", http.StripPrefix("/v2/blobs", BlobServer(tier.Blobs(), tier.ReferencesBlob)))
+	mux.HandleFunc("/v2/datasets/huge", func(w http.ResponseWriter, _ *http.Request) {
+		rec, _ := tier.Info("huge")
+		writeJSONBody(w, rec)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	dirB := t.TempDir()
+	cacheB := filepath.Join(dirB, "cache")
+	rs, err := NewRemoteStore(ts.URL, cacheB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dirB, Options{Blobs: rs, ByteBudget: in.Bytes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Load("huge"); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget adoption: %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := c.Info("huge"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("over-budget record was adopted into the manifest")
+	}
+	if _, err := os.Stat(filepath.Join(cacheB, in.SHA256+snapExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("over-budget blob was downloaded anyway")
+	}
+}

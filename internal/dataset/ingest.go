@@ -23,6 +23,25 @@ const (
 	FormatBinary   = "binary"
 )
 
+// sniffLen is how many raw bytes the format classifier peeks at.
+const sniffLen = 512
+
+// BadInputError marks an ingest failure attributable to the client's
+// bytes or parameters — a malformed name, an undecodable stream, a gzip
+// integrity failure — as opposed to a server-side fault (disk full,
+// fsync error, backend down). The HTTP layer maps it to 400 and
+// everything unclassified to 500, so clients can tell "fix your upload"
+// from "the daemon is hurting".
+type BadInputError struct{ Err error }
+
+func (e *BadInputError) Error() string { return e.Err.Error() }
+func (e *BadInputError) Unwrap() error { return e.Err }
+
+// badInput wraps err unless it already is (or carries) a BadInputError.
+func badInput(err error) error {
+	return &BadInputError{Err: err}
+}
+
 // Ingest streams r through the format decoder into a CSR snapshot under
 // name. The text never becomes resident as a whole: gio's readers consume
 // the stream line by line (or record by record) straight into the graph
@@ -33,7 +52,7 @@ func (c *Catalog) Ingest(name string, r io.Reader, format, source string) (Info,
 	// Reject bad names before paying for the decode — a multi-gigabyte
 	// stream should not parse to completion only to fail on the name.
 	if !nameRE.MatchString(name) {
-		return Info{}, fmt.Errorf("dataset: invalid name %q (want %s)", name, nameRE)
+		return Info{}, badInput(fmt.Errorf("dataset: invalid name %q (want %s)", name, nameRE))
 	}
 	g, format, err := DecodeStream(r, format)
 	if err != nil {
@@ -44,19 +63,29 @@ func (c *Catalog) Ingest(name string, r io.Reader, format, source string) (Info,
 
 // DecodeStream decodes one graph from r in the named (or sniffed) format,
 // transparently unwrapping gzip, and reports the format actually used.
+// Gzip input is verified to its trailer: after the decoder finishes, the
+// remaining compressed stream is drained so the CRC-32 and length in the
+// gzip trailer are checked even for decoders that stop at their logical
+// end (the binary format reads an exact byte count), and a mismatch
+// fails the ingest instead of admitting silently corrupted bytes.
+// Decode-level failures are wrapped in BadInputError.
 func DecodeStream(r io.Reader, format string) (*graph.Graph, string, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	head, _ := br.Peek(512)
+	head, _ := br.Peek(sniffLen)
+	// A full peek means the stream continues past what we can see, so
+	// the head may end mid-line; the classifier must not trust its tail.
+	truncated := len(head) == sniffLen
 
 	var rd io.Reader = br
+	var zr *gzip.Reader
 	if isGzipMagic(head) {
 		// Classify on a best-effort decompression of the peeked prefix,
 		// then hand the (still unconsumed) stream to the decoder through
 		// a fresh gzip reader.
-		head = gunzipPrefix(head)
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, "", fmt.Errorf("dataset: gzip input: %w", err)
+		head, truncated = gunzipPrefix(head, truncated)
+		var err error
+		if zr, err = gzip.NewReader(br); err != nil {
+			return nil, "", badInput(fmt.Errorf("dataset: gzip input: %w", err))
 		}
 		defer zr.Close()
 		rd = zr
@@ -64,11 +93,14 @@ func DecodeStream(r io.Reader, format string) (*graph.Graph, string, error) {
 
 	switch strings.ToLower(format) {
 	case "", FormatAuto:
-		format = ClassifyFormat(head)
+		var err error
+		if format, err = ClassifyFormat(head, truncated); err != nil {
+			return nil, "", badInput(err)
+		}
 	case FormatEdgeList, FormatDIMACS, FormatMETIS, FormatBinary:
 		format = strings.ToLower(format)
 	default:
-		return nil, "", fmt.Errorf("dataset: unknown format %q (want auto, edgelist, dimacs, metis, or binary)", format)
+		return nil, "", badInput(fmt.Errorf("dataset: unknown format %q (want auto, edgelist, dimacs, metis, or binary)", format))
 	}
 
 	var (
@@ -86,7 +118,21 @@ func DecodeStream(r io.Reader, format string) (*graph.Graph, string, error) {
 		g, err = gio.ReadBinary(rd)
 	}
 	if err != nil {
-		return nil, "", err
+		return nil, "", badInput(err)
+	}
+	if zr != nil {
+		// Drain to the gzip trailer. compress/gzip verifies the CRC-32
+		// and uncompressed length only when a read reaches the logical
+		// end of the member; a decoder that stopped early (binary reads
+		// its declared byte count and no more) would otherwise skip the
+		// check entirely and a flipped bit in the payload would ingest
+		// as a healthy graph.
+		if _, derr := io.Copy(io.Discard, zr); derr != nil {
+			return nil, "", badInput(fmt.Errorf("dataset: gzip integrity: %w", derr))
+		}
+		if cerr := zr.Close(); cerr != nil {
+			return nil, "", badInput(fmt.Errorf("dataset: gzip integrity: %w", cerr))
+		}
 	}
 	return g, format, nil
 }
@@ -97,16 +143,23 @@ func isGzipMagic(b []byte) bool {
 
 // gunzipPrefix best-effort decompresses a raw prefix of a gzip stream so
 // the classifier can see plaintext. Truncation errors are expected and
-// ignored — whatever decompressed is enough to sniff a format.
-func gunzipPrefix(raw []byte) []byte {
+// ignored — whatever decompressed is enough to sniff a format. The
+// returned flag reports whether the plaintext may be cut short: always
+// when the raw prefix was itself truncated, and additionally when the
+// decompressed text outgrew the sniff window.
+func gunzipPrefix(raw []byte, rawTruncated bool) ([]byte, bool) {
 	zr, err := gzip.NewReader(bytes.NewReader(raw))
 	if err != nil {
-		return nil
+		return nil, true
 	}
 	defer zr.Close()
-	out := make([]byte, 512)
+	out := make([]byte, sniffLen+1)
 	n, _ := io.ReadFull(zr, out)
-	return out[:n]
+	truncated := rawTruncated || n > sniffLen
+	if n > sniffLen {
+		n = sniffLen
+	}
+	return out[:n], truncated
 }
 
 // gioBinaryMagic is the first 8 bytes of gio's binary format: the "GDM1"
@@ -120,12 +173,25 @@ var gioBinaryMagic = []byte{0x31, 0x4d, 0x44, 0x47, 0, 0, 0, 0}
 //   - '%' comment leader          → metis
 //   - everything else             → edgelist ('#' comments, "u v w" rows)
 //
+// truncated reports that head may end mid-line (the sniff window filled
+// before the stream ended); the trailing partial line is then discarded
+// before classifying — a cut token must never decide the format — and a
+// head with no complete line at all is an error directing the caller to
+// pass an explicit format rather than a silent misclassification.
+//
 // A headerless METIS file whose first line is bare integers is
 // indistinguishable from an edge list; pass format=metis explicitly for
 // those.
-func ClassifyFormat(head []byte) string {
+func ClassifyFormat(head []byte, truncated bool) (string, error) {
 	if bytes.HasPrefix(head, gioBinaryMagic) {
-		return FormatBinary
+		return FormatBinary, nil
+	}
+	if truncated {
+		if i := bytes.LastIndexByte(head, '\n'); i >= 0 {
+			head = head[:i+1]
+		} else {
+			head = nil
+		}
 	}
 	for _, line := range strings.Split(string(head), "\n") {
 		line = strings.TrimSpace(line)
@@ -134,14 +200,17 @@ func ClassifyFormat(head []byte) string {
 		}
 		switch {
 		case strings.HasPrefix(line, "c ") || line == "c" || strings.HasPrefix(line, "p "):
-			return FormatDIMACS
+			return FormatDIMACS, nil
 		case strings.HasPrefix(line, "%"):
-			return FormatMETIS
+			return FormatMETIS, nil
 		default:
-			return FormatEdgeList
+			return FormatEdgeList, nil
 		}
 	}
-	return FormatEdgeList
+	if truncated {
+		return "", fmt.Errorf("dataset: cannot sniff the format (no complete line within the first %d bytes); pass an explicit format", sniffLen)
+	}
+	return FormatEdgeList, nil
 }
 
 // IngestFile is the path-based convenience over Ingest used by the CLI

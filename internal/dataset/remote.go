@@ -1,0 +1,527 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RemoteStore is a BlobStore over a shared HTTP snapshot tier: blobs are
+// fetched by content address from `<base>/v2/blobs/<sha>` into a local
+// read-through cache directory, so a fleet of daemons can serve one
+// snapshot set while each keeps its own manifest. The protocol is what
+// BlobServer speaks — point one daemon's -blob-url at another daemon (or
+// at any dumb HTTP store laid out the same way).
+//
+// Semantics that differ from LocalStore by design:
+//
+//   - Delete and Quarantine act on the cache copy only; a node never
+//     unlinks a shared blob its peers may reference.
+//   - Fetch verifies the downloaded bytes against the content address
+//     (header decode + full payload re-hash) before admitting them to the
+//     cache, so a corrupted transfer or a poisoned tier entry can never
+//     serve.
+//   - List enumerates the cache (what local recovery GCs against), not
+//     the remote tier.
+type RemoteStore struct {
+	base     string // e.g. "http://peer:8080", no trailing slash
+	cacheDir string
+	client   *http.Client
+
+	mu       sync.Mutex
+	fetching map[string]*flight // per-sha download singleflight
+}
+
+// flight is one in-progress download that concurrent fetches of the same
+// address wait on.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// NewRemoteStore builds a remote backend rooted at baseURL with its
+// read-through cache in cacheDir. A nil client gets a default whose
+// transport bounds dial/TLS and response-header latency at 30s but sets
+// no overall timeout — blobs are large and download as long as bytes
+// keep flowing — so a wedged peer degrades to a typed
+// ErrBackendUnavailable instead of hanging the query path forever.
+func NewRemoteStore(baseURL, cacheDir string, client *http.Client) (*RemoteStore, error) {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if baseURL == "" {
+		return nil, fmt.Errorf("dataset: remote blob store needs a base URL")
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.ResponseHeaderTimeout = 30 * time.Second
+		client = &http.Client{Transport: tr}
+	}
+	return &RemoteStore{
+		base:     baseURL,
+		cacheDir: cacheDir,
+		client:   client,
+		fetching: map[string]*flight{},
+	}, nil
+}
+
+func (s *RemoteStore) blobURL(sha string) string { return s.base + "/v2/blobs/" + sha }
+
+func (s *RemoteStore) cachePath(sha string) string {
+	return filepath.Join(s.cacheDir, sha+snapExt)
+}
+
+// transportErr wraps a network-level failure as backend-unavailable so
+// callers can tell "the tier is down" from "the blob does not exist".
+func transportErr(op string, err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrBackendUnavailable, op, err)
+}
+
+// Put uploads the blob to the shared tier (idempotent by address).
+func (s *RemoteStore) Put(sha string, r io.Reader) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, s.blobURL(sha), r)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return transportErr("put "+ShortSHA(sha), err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("dataset: remote put %s: %s", ShortSHA(sha), resp.Status)
+	}
+	return nil
+}
+
+// PutFile uploads the snapshot file and then adopts it as the cache copy
+// (rename when possible), consuming path.
+func (s *RemoteStore) PutFile(sha, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = s.Put(sha, f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	// Warm the read-through cache with the bytes we already have; purely
+	// an optimization, so failures only cost a later re-fetch.
+	cache := s.cachePath(sha)
+	if _, serr := os.Stat(cache); serr == nil {
+		return os.Remove(path)
+	}
+	if os.Rename(path, cache) != nil {
+		os.Remove(path)
+	}
+	return nil
+}
+
+// Open streams the blob: the cache copy when present, a direct GET
+// (uncached — boot-time header checks should not download whole blobs
+// into the cache) otherwise.
+func (s *RemoteStore) Open(sha string) (io.ReadCloser, error) {
+	if err := checkSHA(sha); err != nil {
+		return nil, err
+	}
+	if f, err := os.Open(s.cachePath(sha)); err == nil {
+		return f, nil
+	}
+	resp, err := s.client.Get(s.blobURL(sha))
+	if err != nil {
+		return nil, transportErr("get "+ShortSHA(sha), err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return resp.Body, nil
+	case resp.StatusCode == http.StatusNotFound:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, ShortSHA(sha))
+	default:
+		resp.Body.Close()
+		return nil, transportErr("get "+ShortSHA(sha), errors.New(resp.Status))
+	}
+}
+
+// Fetch materializes the blob in the cache (download deduplicated per
+// address) and returns the cache path. Downloads are verified against the
+// content address before the rename into the cache, so Fetch never
+// materializes bytes that do not hash to sha.
+func (s *RemoteStore) Fetch(sha string) (string, error) {
+	if err := checkSHA(sha); err != nil {
+		return "", err
+	}
+	for {
+		p := s.cachePath(sha)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+		s.mu.Lock()
+		if f, ok := s.fetching[sha]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return "", f.err
+			}
+			continue // leader succeeded: cache hit on retry
+		}
+		f := &flight{done: make(chan struct{})}
+		s.fetching[sha] = f
+		s.mu.Unlock()
+
+		f.err = s.download(sha, p)
+		s.mu.Lock()
+		delete(s.fetching, sha)
+		s.mu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return "", f.err
+		}
+		return p, nil
+	}
+}
+
+// download GETs sha into a temp file, verifies the content address, and
+// renames it into the cache.
+func (s *RemoteStore) download(sha, dest string) error {
+	resp, err := s.client.Get(s.blobURL(sha))
+	if err != nil {
+		return transportErr("fetch "+ShortSHA(sha), err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrBlobNotFound, ShortSHA(sha))
+	case resp.StatusCode != http.StatusOK:
+		return transportErr("fetch "+ShortSHA(sha), errors.New(resp.Status))
+	}
+	tmp := filepath.Join(s.cacheDir, fmt.Sprintf(".fetch-%d-%d", os.Getpid(), tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, cerr := io.Copy(f, resp.Body)
+	if cerr == nil {
+		cerr = f.Sync()
+	}
+	if err := f.Close(); cerr == nil {
+		cerr = err
+	}
+	if cerr != nil {
+		os.Remove(tmp)
+		return transportErr("fetch "+ShortSHA(sha), cerr)
+	}
+	if err := checkBlobFile(tmp, sha); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dest); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// BlobSize reports the cached copy's size, or -1 when not cached.
+func (s *RemoteStore) BlobSize(sha string) (int64, error) {
+	st, err := os.Stat(s.cachePath(sha))
+	if err != nil {
+		return -1, err
+	}
+	return st.Size(), nil
+}
+
+// Delete drops the cache copy only.
+func (s *RemoteStore) Delete(sha string) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	err := os.Remove(s.cachePath(sha))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List enumerates the locally cached addresses.
+func (s *RemoteStore) List() ([]string, error) {
+	des, err := os.ReadDir(s.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		if sha, ok := strings.CutSuffix(de.Name(), snapExt); ok && shaRE.MatchString(sha) {
+			out = append(out, sha)
+		}
+	}
+	return out, nil
+}
+
+// Quarantine sets the cache copy aside; the shared tier is untouched.
+func (s *RemoteStore) Quarantine(sha, dest string) error {
+	if err := checkSHA(sha); err != nil {
+		return err
+	}
+	p := s.cachePath(sha)
+	if _, err := os.Stat(p); err != nil {
+		return nil
+	}
+	if err := os.Rename(p, dest); err != nil {
+		return os.Remove(p)
+	}
+	return nil
+}
+
+// CleanTemps removes stale ".fetch-*" downloads and ".tmp-*" upload
+// spools (crash leftovers).
+func (s *RemoteStore) CleanTemps() []string {
+	des, err := os.ReadDir(s.cacheDir)
+	if err != nil {
+		return nil
+	}
+	var removed []string
+	for _, de := range des {
+		name := de.Name()
+		if !de.IsDir() && (strings.HasPrefix(name, ".fetch-") || strings.HasPrefix(name, ".tmp-")) {
+			if os.Remove(filepath.Join(s.cacheDir, name)) == nil {
+				removed = append(removed, name)
+			}
+		}
+	}
+	return removed
+}
+
+// BlobTempDir keeps upload spools on the cache's filesystem.
+func (s *RemoteStore) BlobTempDir() string { return s.cacheDir }
+
+// LookupName resolves a dataset name against the remote daemon's catalog
+// (`GET <base>/v2/datasets/<name>`), letting a node adopt datasets that
+// were ingested on a peer sharing the blob tier. Missing names (and
+// peers without a catalog) return ErrNotFound; transport failures return
+// ErrBackendUnavailable.
+func (s *RemoteStore) LookupName(name string) (Info, error) {
+	if !nameRE.MatchString(name) {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	resp, err := s.client.Get(s.base + "/v2/datasets/" + name)
+	if err != nil {
+		return Info{}, transportErr("lookup "+name, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return Info{}, transportErr("lookup "+name, errors.New(resp.Status))
+	}
+	var in Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&in); err != nil {
+		return Info{}, fmt.Errorf("dataset: remote lookup %q: bad response: %w", name, err)
+	}
+	if !shaRE.MatchString(in.SHA256) || in.NumNodes < 0 || in.NumEdges < 0 || in.Bytes <= 0 {
+		return Info{}, fmt.Errorf("dataset: remote lookup %q: implausible record", name)
+	}
+	in.Name = name
+	return in, nil
+}
+
+// nameResolver is the optional backend capability behind catalog-level
+// remote name adoption.
+type nameResolver interface {
+	LookupName(name string) (Info, error)
+}
+
+// BlobServer serves a BlobStore over the fetch-by-SHA protocol
+// RemoteStore speaks, relative to its mount point:
+//
+//	GET    /            list content addresses (JSON)
+//	GET    /{sha}       stream one blob (HEAD supported)
+//	PUT    /{sha}       store one blob — the body is verified against the
+//	                    address (header + payload re-hash) before it is
+//	                    admitted, so a buggy or malicious writer cannot
+//	                    poison the shared tier
+//	DELETE /{sha}       drop one blob; refused with 409 while inUse
+//	                    reports it referenced (the serving node's own
+//	                    manifest — delete the dataset, not its blob)
+//
+// inUse may be nil (no referential guard — a bare tier with no catalog).
+// graphdiamd mounts it at /v2/blobs when a catalog is configured,
+// passing the catalog's reference check.
+func BlobServer(bs BlobStore, inUse func(sha string) bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sha := strings.Trim(r.URL.Path, "/")
+		if sha == "" {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+				return
+			}
+			shas, err := bs.List()
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			if shas == nil {
+				shas = []string{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"blobs": shas})
+			return
+		}
+		if !shaRE.MatchString(sha) {
+			httpError(w, http.StatusBadRequest, "malformed content address")
+			return
+		}
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			rc, err := bs.Open(sha)
+			if err != nil {
+				blobError(w, err)
+				return
+			}
+			defer rc.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if f, ok := rc.(*os.File); ok {
+				if st, err := f.Stat(); err == nil {
+					w.Header().Set("Content-Length", fmt.Sprint(st.Size()))
+				}
+			}
+			if r.Method == http.MethodHead {
+				return
+			}
+			io.Copy(w, rc)
+		case http.MethodPut:
+			if err := blobPut(bs, sha, r.Body); err != nil {
+				blobError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(map[string]string{"stored": sha})
+		case http.MethodDelete:
+			if inUse != nil && inUse(sha) {
+				// Unlinking a blob the serving node's manifest still
+				// points at would strand its datasets with no safeguard;
+				// every other deletion path checks references first.
+				httpError(w, http.StatusConflict,
+					"blob is referenced by this node's catalog; delete the dataset instead")
+				return
+			}
+			if err := bs.Delete(sha); err != nil {
+				blobError(w, err)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]string{"deleted": sha})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	})
+}
+
+// blobPut spools an uploaded blob, verifies it hashes to sha, adopts it
+// into the store, and pins it: the uploader's manifest — not this
+// node's — references the blob, so it must survive this node's orphan
+// GC and unreferenced-blob cleanup. The spool lands on the store's own
+// filesystem when it exposes one (adoption is then a rename, and a
+// multi-gigabyte snapshot never detours through a tmpfs /tmp).
+func blobPut(bs BlobStore, sha string, body io.Reader) error {
+	dir := ""
+	if td, ok := bs.(blobTempDirer); ok {
+		dir = td.BlobTempDir()
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-put-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, cerr := io.Copy(tmp, body)
+	if err := tmp.Close(); cerr == nil {
+		cerr = err
+	}
+	if cerr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("dataset: blob upload: %w", cerr)
+	}
+	if err := checkBlobFile(tmpName, sha); err != nil {
+		os.Remove(tmpName)
+		return &BadInputError{Err: err}
+	}
+	// Pin BEFORE adopting the bytes: once the pin exists, a concurrent
+	// dataset removal that dedups onto this address can no longer unlink
+	// the blob in the window before the pin lands (blob-server uploads
+	// never enter the catalog's publishing refcount, so the pin is their
+	// only guard). A failed adoption rolls the pin back; a crash between
+	// pin and store leaves a stale pin over a missing blob, which is
+	// harmless.
+	pinner, pinned := bs.(blobPinner)
+	if pinned {
+		if err := pinner.PinBlob(sha); err != nil {
+			os.Remove(tmpName)
+			return err
+		}
+	}
+	if err := putBlobFile(bs, sha, tmpName); err != nil {
+		if pinned {
+			pinner.UnpinBlob(sha)
+		}
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+func blobError(w http.ResponseWriter, err error) {
+	var (
+		bad    *BadInputError
+		tooBig *http.MaxBytesError
+	)
+	switch {
+	case errors.Is(err, ErrBlobNotFound):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.As(err, &tooBig):
+		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.As(err, &bad):
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// checkBlobFile confirms path is a structurally sane snapshot whose
+// payload hashes to sha: the O(header) + O(payload-hash) integrity check
+// shared by remote fetch admission and blob-server upload admission.
+func checkBlobFile(path, sha string) error {
+	h, err := verifyAddress(path)
+	if err != nil {
+		return err
+	}
+	if h.SHAHex() != sha {
+		return fmt.Errorf("dataset: blob content hashes to %s, not %s",
+			ShortSHA(h.SHAHex()), ShortSHA(sha))
+	}
+	return nil
+}

@@ -469,11 +469,11 @@ func readConverted(f *os.File, l layout, offsets []int64, targets []graph.NodeID
 	return nil
 }
 
-// VerifySnapshot deep-checks path: header sanity, payload SHA-256 against
-// the stored content address, CSR structural invariants, and the cached
-// statistics against a recomputation. It is the offline audit used by
-// `dataset verify` and by catalog quarantine decisions on suspect files.
-func VerifySnapshot(path string) (Header, error) {
+// verifyAddress checks that path is a structurally sane snapshot file
+// whose payload re-hashes to the content address stored in its header:
+// the integrity core shared by VerifySnapshot, remote fetch admission,
+// and blob-server upload admission. It does not load the graph.
+func verifyAddress(path string) (Header, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Header{}, err
@@ -506,6 +506,19 @@ func VerifySnapshot(path string) (Header, error) {
 	sum.Sum(got[:0])
 	if got != h.PayloadSHA {
 		return Header{}, fmt.Errorf("dataset: %s: payload SHA-256 mismatch (corrupt snapshot)", path)
+	}
+	return h, nil
+}
+
+// VerifySnapshot deep-checks path: header sanity, payload SHA-256 against
+// the stored content address, CSR structural invariants, and the cached
+// statistics against a recomputation. It is the offline audit used by
+// `dataset verify`, the background integrity sweeper, and catalog
+// quarantine decisions on suspect files.
+func VerifySnapshot(path string) (Header, error) {
+	h, err := verifyAddress(path)
+	if err != nil {
+		return Header{}, err
 	}
 
 	ld, err := loadSnapshot(path, false)

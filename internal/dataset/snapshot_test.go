@@ -296,11 +296,12 @@ func TestClassifyFormat(t *testing.T) {
 		"":                                    FormatEdgeList,
 	}
 	for head, want := range cases {
-		if got := ClassifyFormat([]byte(head)); got != want {
-			t.Errorf("ClassifyFormat(%q) = %s, want %s", head, got, want)
+		got, err := ClassifyFormat([]byte(head), false)
+		if err != nil || got != want {
+			t.Errorf("ClassifyFormat(%q) = %s, %v, want %s", head, got, err, want)
 		}
 	}
-	if got := ClassifyFormat(gioBinaryMagic); got != FormatBinary {
-		t.Errorf("binary magic classified as %s", got)
+	if got, err := ClassifyFormat(gioBinaryMagic, false); err != nil || got != FormatBinary {
+		t.Errorf("binary magic classified as %s, %v", got, err)
 	}
 }

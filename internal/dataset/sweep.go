@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// SweepResult records one dataset's outcome in an integrity sweep.
+type SweepResult struct {
+	Name      string    `json:"name"`
+	SHA256    string    `json:"sha256"`
+	OK        bool      `json:"ok"`
+	Skipped   bool      `json:"skipped,omitempty"` // backend unreachable: neither verified nor condemned
+	Error     string    `json:"error,omitempty"`
+	CheckedAt time.Time `json:"checkedAt"`
+}
+
+// SweepStatus is the catalog's sweep telemetry, served by /v2/datasets.
+type SweepStatus struct {
+	// Enabled reports whether a background sweeper is running.
+	Enabled bool `json:"enabled"`
+	// IntervalSeconds is the background sweep cadence (0 when disabled).
+	IntervalSeconds float64 `json:"intervalSeconds,omitempty"`
+	// Sweeps counts completed sweeps (background and explicit).
+	Sweeps int64 `json:"sweeps"`
+	// LastSweepAt is when the most recent sweep finished (zero before
+	// the first one).
+	LastSweepAt time.Time `json:"lastSweepAt"`
+	// LastChecked/LastFailures/LastSkipped summarize the most recent
+	// sweep; TotalFailures and TotalQuarantined accumulate over the
+	// catalog's lifetime in this process.
+	LastChecked      int   `json:"lastChecked"`
+	LastFailures     int   `json:"lastFailures"`
+	LastSkipped      int   `json:"lastSkipped"`
+	TotalFailures    int64 `json:"totalFailures"`
+	TotalQuarantined int64 `json:"totalQuarantined"`
+	// LastResults is the most recent sweep's per-dataset detail.
+	LastResults []SweepResult `json:"lastResults,omitempty"`
+}
+
+// SweepStatus returns a copy of the sweep telemetry.
+func (c *Catalog) SweepStatus() SweepStatus {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	st := c.sweep
+	st.LastResults = append([]SweepResult(nil), c.sweep.LastResults...)
+	return st
+}
+
+// SweepOnce re-verifies every cataloged snapshot end to end — payload
+// SHA-256 against the content address, CSR invariants, cached stats —
+// and quarantines failures exactly like boot-time recovery does: the
+// local blob copy moves to quarantine/, every name referencing it drops
+// from the manifest, and the manifest is republished. The daemon keeps
+// serving throughout; graphs already faulted in stay valid (the store's
+// registry and the mmap both survive the unlink).
+//
+// Shared snapshots are hashed once per unique content address, and a
+// backend that is unreachable (remote tier down) marks entries skipped
+// rather than condemning them. SweepOnce is what the background sweeper
+// runs on its interval and what `dataset verify -watch` polls.
+func (c *Catalog) SweepOnce() []SweepResult {
+	entries := c.List()
+
+	// Group names by content address so shared snapshots hash once.
+	bysha := map[string][]string{}
+	for _, in := range entries {
+		bysha[in.SHA256] = append(bysha[in.SHA256], in.Name)
+	}
+
+	var results []SweepResult
+	failures, skipped := 0, 0
+	var quarantined int64
+	// A 404 from a shared tier is a tier gap, not local corruption:
+	// condemning on it would let one lost hub blob erase the entry from
+	// every peer's manifest. Mirror boot recovery and skip.
+	_, sharedTier := c.blobs.(nameResolver)
+	for sha, names := range bysha {
+		verr := c.verifyBlob(sha)
+		now := c.now()
+		switch {
+		case verr == nil:
+			for _, name := range names {
+				results = append(results, SweepResult{Name: name, SHA256: sha, OK: true, CheckedAt: now})
+			}
+		case errors.Is(verr, ErrBackendUnavailable),
+			sharedTier && errors.Is(verr, ErrBlobNotFound):
+			skipped += len(names)
+			for _, name := range names {
+				results = append(results, SweepResult{
+					Name: name, SHA256: sha, Skipped: true, Error: verr.Error(), CheckedAt: now})
+			}
+			c.logf("sweep: skipping %s (%v)", ShortSHA(sha), verr)
+		default:
+			failures += len(names)
+			quarantined += int64(c.condemn(sha, verr))
+			for _, name := range names {
+				results = append(results, SweepResult{
+					Name: name, SHA256: sha, Error: verr.Error(), CheckedAt: now})
+			}
+		}
+	}
+
+	c.sweepMu.Lock()
+	c.sweep.Sweeps++
+	c.sweep.LastSweepAt = c.now()
+	c.sweep.LastChecked = len(results)
+	c.sweep.LastFailures = failures
+	c.sweep.LastSkipped = skipped
+	c.sweep.TotalFailures += int64(failures)
+	c.sweep.TotalQuarantined += quarantined
+	c.sweep.LastResults = results
+	c.sweepMu.Unlock()
+	return results
+}
+
+// verifyBlob materializes one blob and deep-checks it.
+func (c *Catalog) verifyBlob(sha string) error {
+	path, err := c.blobs.Fetch(sha)
+	if err != nil {
+		return err
+	}
+	_, err = VerifySnapshot(path)
+	return err
+}
+
+// condemn quarantines a corrupt blob and drops every manifest entry
+// still referencing it, mirroring boot-time recovery. Returns how many
+// entries were dropped. Entries re-ingested under a new address while
+// the sweep hashed the old bytes are left alone.
+func (c *Catalog) condemn(sha string, verr error) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for name, in := range c.entries {
+		if in.SHA256 != sha {
+			continue
+		}
+		delete(c.entries, name)
+		dropped++
+		c.logf("sweep: quarantined dataset %q (%s): %v", name, ShortSHA(sha), verr)
+	}
+	if dropped == 0 {
+		return 0
+	}
+	c.quarantineBlob(sha)
+	if err := c.saveManifestLocked(); err != nil {
+		c.logf("sweep: manifest save after quarantine: %v", err)
+	}
+	return dropped
+}
+
+// StartSweeper runs SweepOnce every interval in the background until the
+// returned stop function is called (idempotent) or the catalog closes.
+// Starting a second sweeper stops the first.
+func (c *Catalog) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.SweepOnce()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+			c.sweepMu.Lock()
+			c.sweep.Enabled = false
+			c.sweep.IntervalSeconds = 0
+			c.sweepMu.Unlock()
+		})
+	}
+
+	c.sweepMu.Lock()
+	prev := c.sweepStop
+	c.sweepStop = stop
+	c.sweep.Enabled = true
+	c.sweep.IntervalSeconds = interval.Seconds()
+	c.sweepMu.Unlock()
+	if prev != nil {
+		prev()
+		// prev's deferred status reset raced ours; reassert.
+		c.sweepMu.Lock()
+		c.sweep.Enabled = true
+		c.sweep.IntervalSeconds = interval.Seconds()
+		c.sweepMu.Unlock()
+	}
+	return stop
+}

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// flipPayloadByte flips one byte inside a snapshot file's payload region
+// in place (no truncation — the file may be mmap'd by a live daemon,
+// exactly the situation the sweeper runs in).
+func flipPayloadByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		// O_WRONLY can't read; reopen for the read.
+		rf, rerr := os.Open(path)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if _, rerr := rf.ReadAt(b, off); rerr != nil {
+			rf.Close()
+			t.Fatal(rerr)
+		}
+		rf.Close()
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepQuarantinesFlippedPayloadByte(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.IngestGraph("healthy", mustGen(t, "mesh:10", 1), FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	inBad, err := c.IngestGraph("doomed", mustGen(t, "mesh:10", 2), FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean sweep first: everything verifies, nothing moves.
+	results := c.SweepOnce()
+	if len(results) != 2 {
+		t.Fatalf("clean sweep checked %d datasets, want 2", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Fatalf("clean sweep flagged %q: %s", r.Name, r.Error)
+		}
+	}
+
+	// Flip one byte inside the payload (past the header page). The boot
+	// check would NOT catch this — it is O(header) only — which is the
+	// whole reason the deep sweeper exists.
+	path := filepath.Join(dir, snapshotsDir, inBad.SHA256+snapExt)
+	flipPayloadByte(t, path, pageSize+24)
+	if err := c.checkEntry(&inBad); err != nil {
+		t.Fatalf("premise broken: boot-time header check already detects the payload flip: %v", err)
+	}
+
+	results = c.SweepOnce()
+	var failed *SweepResult
+	for i := range results {
+		if !results[i].OK && !results[i].Skipped {
+			failed = &results[i]
+		}
+	}
+	if failed == nil || failed.Name != "doomed" {
+		t.Fatalf("sweep results %+v: want exactly doomed to fail", results)
+	}
+	if _, err := c.Info("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt dataset still cataloged after sweep: %v", err)
+	}
+	if _, err := c.Load("healthy"); err != nil {
+		t.Fatalf("healthy sibling lost: %v", err)
+	}
+	qdes, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qdes) != 1 {
+		t.Fatalf("quarantine dir: err=%v files=%d, want exactly 1", err, len(qdes))
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt blob still present in the store")
+	}
+
+	st := c.SweepStatus()
+	if st.Sweeps != 2 || st.TotalFailures != 1 || st.TotalQuarantined != 1 || st.LastFailures != 1 {
+		t.Fatalf("sweep status %+v", st)
+	}
+
+	// The next sweep must be clean and stable (no double quarantine).
+	for _, r := range c.SweepOnce() {
+		if !r.OK {
+			t.Fatalf("post-quarantine sweep flagged %q: %s", r.Name, r.Error)
+		}
+	}
+	if st := c.SweepStatus(); st.TotalQuarantined != 1 {
+		t.Fatalf("quarantine count drifted: %+v", st)
+	}
+}
+
+// TestSweepSharedSnapshotDropsAllAliases: two names over one blob — a
+// corrupt payload condemns both records but hashes the bytes only once.
+func TestSweepSharedSnapshotDropsAllAliases(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := mustGen(t, "mesh:9", 7)
+	in, err := c.IngestGraph("one", g, FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestGraph("two", g, FormatBinary, ""); err != nil {
+		t.Fatal(err)
+	}
+	flipPayloadByte(t, filepath.Join(dir, snapshotsDir, in.SHA256+snapExt), pageSize+40)
+
+	results := c.SweepOnce()
+	failures := 0
+	for _, r := range results {
+		if !r.OK {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("%d failures for 2 aliases of one corrupt blob, want 2", failures)
+	}
+	if got := c.names(); len(got) != 0 {
+		t.Fatalf("aliases survived the sweep: %v", got)
+	}
+}
+
+func TestBackgroundSweeperDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in, err := c.IngestGraph("watched", mustGen(t, "mesh:8", 3), FormatBinary, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipPayloadByte(t, filepath.Join(dir, snapshotsDir, in.SHA256+snapExt), pageSize+8)
+
+	stop := c.StartSweeper(5 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := c.SweepStatus(); st.TotalQuarantined >= 1 {
+			if !st.Enabled {
+				t.Fatal("status says sweeper disabled while running")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background sweeper never quarantined; status %+v", c.SweepStatus())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	if st := c.SweepStatus(); st.Enabled {
+		t.Fatal("sweeper still reports enabled after stop")
+	}
+	// The catalog keeps working after a mid-flight quarantine.
+	if _, err := c.IngestGraph("fresh", mustGen(t, "mesh:8", 4), FormatBinary, ""); err != nil {
+		t.Fatalf("ingest after sweep: %v", err)
+	}
+}

@@ -17,15 +17,25 @@ import (
 //	       ingest the raw request body (edgelist | dimacs | metis |
 //	       binary, each optionally gzip-wrapped; format defaults to
 //	       auto-sniffing) into a content-addressed snapshot
-//	GET    /v2/datasets               list cataloged datasets
+//	GET    /v2/datasets               list cataloged datasets, catalog
+//	       byte totals, and integrity-sweep telemetry
 //	GET    /v2/datasets/{name}        one dataset's catalog record
 //	DELETE /v2/datasets/{name}        drop the record (and the snapshot
 //	       file once unreferenced); already-loaded graphs stay usable
 //	POST   /v2/datasets/{name}/load   fault the dataset into the
 //	       in-memory registry now (queries do this lazily anyway)
 //
-// Uploads stream: the body is decoded straight into the CSR builder, so
-// the daemon never holds both the full text and the graph in memory.
+//	GET    /v2/blobs                  list snapshot content addresses
+//	GET    /v2/blobs/{sha}            stream one snapshot blob
+//	PUT    /v2/blobs/{sha}            store one blob (verified against
+//	       the address before admission)
+//	DELETE /v2/blobs/{sha}            drop one blob's local copy
+//
+// The blob routes expose the catalog's storage tier so peers started
+// with -blob-url can share this daemon's snapshots (see
+// dataset.RemoteStore). Uploads stream: the body is decoded straight
+// into the CSR builder, so the daemon never holds both the full text
+// and the graph in memory.
 
 // requireDatasets answers 503 when no catalog is configured.
 func (s *Server) requireDatasets(w http.ResponseWriter) (*dataset.Catalog, bool) {
@@ -37,13 +47,27 @@ func (s *Server) requireDatasets(w http.ResponseWriter) (*dataset.Catalog, bool)
 	return s.cfg.Datasets, true
 }
 
-// writeDatasetError maps catalog errors to HTTP statuses.
+// writeDatasetError maps catalog errors to HTTP statuses. The
+// classification matters most on ingest: a client must be able to tell
+// "my bytes are bad" (400) from "the daemon's disk or backend failed"
+// (500) from "the catalog cannot hold a snapshot this large" (507) —
+// before this mapping every failure, ENOSPC included, surfaced as a 400.
 func writeDatasetError(w http.ResponseWriter, err error) {
+	var (
+		badIn  *dataset.BadInputError
+		tooBig *http.MaxBytesError
+	)
 	switch {
 	case errors.Is(err, dataset.ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
-	default:
+	case errors.As(err, &tooBig):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.As(err, &badIn):
 		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, dataset.ErrBudgetExceeded):
+		writeError(w, http.StatusInsufficientStorage, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
@@ -77,6 +101,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"datasets":   cat.List(),
 		"totalBytes": cat.TotalBytes(),
+		"sweep":      cat.SweepStatus(),
 	})
 }
 
@@ -104,6 +129,24 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// blobHandler serves the catalog's blob storage tier under /v2/blobs —
+// the server side of the shared-snapshot protocol dataset.RemoteStore
+// speaks. Without a catalog it answers 503 like every dataset route.
+func (s *Server) blobHandler() http.Handler {
+	var h http.Handler
+	if cat := s.cfg.Datasets; cat != nil {
+		h = http.StripPrefix("/v2/blobs", dataset.BlobServer(cat.Blobs(), cat.ReferencesBlob))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h == nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("dataset catalog not configured (start the daemon with -data-dir)"))
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {

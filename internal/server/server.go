@@ -25,16 +25,28 @@
 //
 //	POST   /v2/datasets        ingest a graph into the persistent catalog
 //	                           (?name=, raw body, format auto-sniffed)
-//	GET    /v2/datasets        list cataloged datasets
+//	GET    /v2/datasets        list cataloged datasets + sweep telemetry
 //	GET    /v2/datasets/{name} one dataset's record
 //	DELETE /v2/datasets/{name} drop a dataset from the catalog
 //	POST   /v2/datasets/{name}/load  fault a dataset into memory now
+//
+//	GET    /v2/blobs           list snapshot content addresses
+//	GET    /v2/blobs/{sha}     stream one snapshot blob
+//	PUT    /v2/blobs/{sha}     store a blob (verified before admission)
+//	DELETE /v2/blobs/{sha}     drop a blob's local copy
 //
 // Dataset routes (see datasets.go) require the daemon's -data-dir; a
 // graph name queried via /v1//v2 compute endpoints that is not resident
 // in memory is faulted in from the catalog transparently, so an ingested
 // dataset survives restarts with no client-visible difference beyond the
-// first query's load time (an O(1) mmap).
+// first query's load time (an O(1) mmap). The blob routes are the server
+// side of the shared snapshot tier: a peer daemon started with -blob-url
+// pointing here fetches snapshots by content address (read-through
+// cached) and resolves unknown dataset names against this catalog, so a
+// fleet serves one snapshot set while each node keeps its own manifest.
+// Ingest failures are classified: bad client bytes are 400, an over-cap
+// body 413, a snapshot too big for the catalog budget 507, and
+// server-side disk or backend faults 500.
 //
 // A v2 job moves through queued → running → done|failed|cancelled; its
 // snapshots carry the latest progress (phase, stage, Δ, coverage fraction,
@@ -120,6 +132,9 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/datasets/{name}", s.handleGetDataset)
 	s.mux.HandleFunc("DELETE /v2/datasets/{name}", s.handleDeleteDataset)
 	s.mux.HandleFunc("POST /v2/datasets/{name}/load", s.handleLoadDataset)
+	bh := s.blobHandler()
+	s.mux.Handle("/v2/blobs", bh)
+	s.mux.Handle("/v2/blobs/", bh)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -131,7 +146,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Log != nil {
 		s.cfg.Log.Printf("%s %s", r.Method, r.URL.Path)
 	}
-	if r.Method == http.MethodPost && r.URL.Path == "/v2/datasets" {
+	isDatasetBody := (r.Method == http.MethodPost && r.URL.Path == "/v2/datasets") ||
+		(r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v2/blobs/"))
+	if isDatasetBody {
 		if s.cfg.MaxDatasetBytes > 0 {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes)
 		}

@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"graphdiam/internal/bsp"
@@ -22,13 +26,20 @@ import (
 // complete before reopening: the catalog holds an exclusive directory
 // lock, exactly as two live daemons on one -data-dir are refused.
 func newDatasetServer(t *testing.T, dir string) (*httptest.Server, *store.Store, func()) {
+	return newDatasetServerOpts(t, dir, dataset.Options{}, Config{})
+}
+
+// newDatasetServerOpts is newDatasetServer with catalog and server
+// config — the remote-backend and error-classification tests need both.
+func newDatasetServerOpts(t *testing.T, dir string, opts dataset.Options, cfg Config) (*httptest.Server, *store.Store, func()) {
 	t.Helper()
-	cat, err := dataset.Open(dir, dataset.Options{})
+	cat, err := dataset.Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := store.New(store.Config{MaxConcurrent: 4, Catalog: cat})
-	ts := httptest.NewServer(New(st, Config{Datasets: cat}))
+	cfg.Datasets = cat
+	ts := httptest.NewServer(New(st, cfg))
 	done := false
 	shutdown := func() {
 		if done {
@@ -210,9 +221,271 @@ func TestDatasetEndpointsWithoutCatalog(t *testing.T) {
 		{"GET", "/v2/datasets/x"},
 		{"DELETE", "/v2/datasets/x"},
 		{"POST", "/v2/datasets/x/load"},
+		{"GET", "/v2/blobs"},
+		{"GET", "/v2/blobs/" + strings.Repeat("ab", 32)},
 	} {
 		if code := doJSON(t, probe.method, ts.URL+probe.path, nil, nil); code != http.StatusServiceUnavailable {
 			t.Errorf("%s %s without catalog: status %d, want 503", probe.method, probe.path, code)
 		}
+	}
+}
+
+// TestIngestErrorStatusClassification pins the bugfix for the 400-for-
+// everything ingest path: clients must be able to distinguish their own
+// bad bytes (400) from an oversized body (413), a snapshot the catalog
+// cannot hold (507), and genuine server faults (500).
+func TestIngestErrorStatusClassification(t *testing.T) {
+	g, err := gen.FromSpec("mesh:12", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el bytes.Buffer
+	if err := gio.WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("BadBytesAre400", func(t *testing.T) {
+		ts, _, _ := newDatasetServer(t, t.TempDir())
+		// Garbage that classifies as an edge list but cannot parse.
+		if code := uploadBody(t, ts.URL+"/v2/datasets?name=x", []byte("definitely not a graph\n"), nil); code != http.StatusBadRequest {
+			t.Fatalf("garbage body status %d, want 400", code)
+		}
+		// A gzip stream with a corrupted CRC trailer (the compressed
+		// payload itself still inflates).
+		var gz bytes.Buffer
+		zw := gzip.NewWriter(&gz)
+		if err := gio.WriteBinary(zw, g); err != nil {
+			t.Fatal(err)
+		}
+		zw.Close()
+		corrupt := gz.Bytes()
+		corrupt[len(corrupt)-8] ^= 0x01
+		if code := uploadBody(t, ts.URL+"/v2/datasets?name=x", corrupt, nil); code != http.StatusBadRequest {
+			t.Fatalf("corrupt gzip trailer status %d, want 400", code)
+		}
+		// Bad dataset name.
+		if code := uploadBody(t, ts.URL+"/v2/datasets?name=..evil", el.Bytes(), nil); code != http.StatusBadRequest {
+			t.Fatalf("bad name status %d, want 400", code)
+		}
+	})
+
+	t.Run("BudgetExhaustionIs507", func(t *testing.T) {
+		ts, _, _ := newDatasetServerOpts(t, t.TempDir(), dataset.Options{ByteBudget: 1}, Config{})
+		if code := uploadBody(t, ts.URL+"/v2/datasets?name=big", el.Bytes(), nil); code != http.StatusInsufficientStorage {
+			t.Fatalf("over-budget ingest status %d, want 507", code)
+		}
+	})
+
+	t.Run("OversizedBodyIs413", func(t *testing.T) {
+		ts, _, _ := newDatasetServerOpts(t, t.TempDir(), dataset.Options{}, Config{MaxDatasetBytes: 64})
+		if code := uploadBody(t, ts.URL+"/v2/datasets?name=fat", el.Bytes(), nil); code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized ingest status %d, want 413", code)
+		}
+		// The blob tier's PUT shares the dataset body cap and the 413
+		// classification (it is the same "your upload is too big").
+		req, err := http.NewRequest(http.MethodPut,
+			ts.URL+"/v2/blobs/"+strings.Repeat("ab", 32), bytes.NewReader(make([]byte, 4096)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized blob PUT status %d, want 413", resp.StatusCode)
+		}
+	})
+}
+
+// TestTwoDaemonsSharedBlobBackend is the fleet acceptance scenario: B is
+// started with its blob tier pointed at A. A dataset ingested only on A
+// is queried on B — B adopts the record from A's catalog, fetches the
+// snapshot by content address into its read-through cache, and serves
+// bit-identical decomposition metrics. Then B's cached copy is corrupted
+// and its integrity sweeper quarantines it without taking B down.
+func TestTwoDaemonsSharedBlobBackend(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	tsA, _, _ := newDatasetServer(t, dirA)
+
+	remote, err := dataset.NewRemoteStore(tsA.URL, filepath.Join(dirB, "cache"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB, _, _ := newDatasetServerOpts(t, dirB, dataset.Options{Blobs: remote}, Config{})
+
+	// Ingest on A only.
+	g, err := gen.FromSpec("road:16", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el bytes.Buffer
+	zw := gzip.NewWriter(&el)
+	if err := gio.WriteEdgeList(zw, g); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	var info dataset.Info
+	if code := uploadBody(t, tsA.URL+"/v2/datasets?name=shared&source=fleet", el.Bytes(), &info); code != http.StatusCreated {
+		t.Fatalf("ingest on A: status %d", code)
+	}
+
+	// Query the SAME name on both daemons; answers must agree exactly.
+	query := map[string]any{"graph": "shared", "seed": 11}
+	var onA, onB DiameterResponse
+	if code := doJSON(t, "POST", tsA.URL+"/v1/diameter", query, &onA); code != http.StatusOK {
+		t.Fatalf("diameter on A: status %d", code)
+	}
+	if code := doJSON(t, "POST", tsB.URL+"/v1/diameter", query, &onB); code != http.StatusOK {
+		t.Fatalf("diameter on B (never ingested there): status %d", code)
+	}
+	if fieldsOf(onA) != fieldsOf(onB) {
+		t.Fatalf("fleet answers diverge:\n A %+v\n B %+v", fieldsOf(onA), fieldsOf(onB))
+	}
+	if onB.Cached {
+		t.Fatal("B claims a cache hit on its first ever query")
+	}
+
+	// B adopted the record into its own manifest with the same address.
+	var adopted dataset.Info
+	if code := doJSON(t, "GET", tsB.URL+"/v2/datasets/shared", nil, &adopted); code != http.StatusOK {
+		t.Fatalf("B did not adopt the dataset record: status %d", code)
+	}
+	if adopted.SHA256 != info.SHA256 {
+		t.Fatalf("adopted record sha %s != ingested %s", adopted.SHA256, info.SHA256)
+	}
+	// And the blob was materialized in B's cache, byte-identical to A's.
+	cached, err := os.ReadFile(filepath.Join(dirB, "cache", info.SHA256+".gds"))
+	if err != nil {
+		t.Fatalf("B's read-through cache is empty: %v", err)
+	}
+	original, err := os.ReadFile(filepath.Join(dirA, "snapshots", info.SHA256+".gds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached, original) {
+		t.Fatal("cached blob differs from the tier's copy")
+	}
+
+	// Unknown names still 404 on B (adoption must not break not-found).
+	if code := doJSON(t, "POST", tsB.URL+"/v1/diameter", map[string]any{"graph": "ghost"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph on B: status %d, want 404", code)
+	}
+
+	// Corrupt B's cached copy in place and sweep: the entry quarantines,
+	// the daemon keeps serving (resident graph and A's tier untouched).
+	catB := stBCatalog(t, tsB)
+	flip := make([]byte, 1)
+	f, err := os.OpenFile(filepath.Join(dirB, "cache", info.SHA256+".gds"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(flip, 4096+32); err != nil {
+		t.Fatal(err)
+	}
+	flip[0] ^= 0x01
+	if _, err := f.WriteAt(flip, 4096+32); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	failures := 0
+	for _, res := range catB.SweepOnce() {
+		if !res.OK && !res.Skipped {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("sweep on B found %d failures, want 1", failures)
+	}
+	var list struct {
+		Sweep dataset.SweepStatus `json:"sweep"`
+	}
+	if code := doJSON(t, "GET", tsB.URL+"/v2/datasets", nil, &list); code != http.StatusOK {
+		t.Fatalf("list on B after sweep: status %d", code)
+	}
+	if list.Sweep.TotalFailures != 1 || list.Sweep.TotalQuarantined != 1 {
+		t.Fatalf("sweep telemetry not surfaced: %+v", list.Sweep)
+	}
+	// The already-resident graph keeps answering identically, and A is
+	// unaffected — quarantine on B never mutates the shared tier.
+	var again DiameterResponse
+	if code := doJSON(t, "POST", tsB.URL+"/v1/diameter", query, &again); code != http.StatusOK {
+		t.Fatalf("B stopped serving after quarantine: status %d", code)
+	}
+	if fieldsOf(again) != fieldsOf(onA) {
+		t.Fatal("B's answer changed after quarantine")
+	}
+	if _, err := os.Stat(filepath.Join(dirA, "snapshots", info.SHA256+".gds")); err != nil {
+		t.Fatalf("quarantine on B touched A's tier: %v", err)
+	}
+}
+
+// stBCatalog digs the live catalog back out of a test server (reopening
+// the directory is impossible while the stack holds its flock).
+func stBCatalog(t *testing.T, ts *httptest.Server) *dataset.Catalog {
+	t.Helper()
+	srv, ok := ts.Config.Handler.(*Server)
+	if !ok {
+		t.Fatalf("test server handler is %T, want *Server", ts.Config.Handler)
+	}
+	return srv.cfg.Datasets
+}
+
+// TestBlobEndpointsServeTier exercises the daemon-side blob protocol the
+// remote backend depends on: list, fetch-by-SHA, and 404s.
+func TestBlobEndpointsServeTier(t *testing.T) {
+	ts, _, _ := newDatasetServer(t, t.TempDir())
+	g, err := gen.FromSpec("mesh:8", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el bytes.Buffer
+	if err := gio.WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+	var info dataset.Info
+	if code := uploadBody(t, ts.URL+"/v2/datasets?name=m", el.Bytes(), &info); code != http.StatusCreated {
+		t.Fatalf("ingest status %d", code)
+	}
+
+	var blobs struct {
+		Blobs []string `json:"blobs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/blobs", nil, &blobs); code != http.StatusOK {
+		t.Fatalf("blob list status %d", code)
+	}
+	if len(blobs.Blobs) != 1 || blobs.Blobs[0] != info.SHA256 {
+		t.Fatalf("blob list %v, want [%s]", blobs.Blobs, info.SHA256)
+	}
+	resp, err := http.Get(ts.URL + "/v2/blobs/" + info.SHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || int64(len(raw)) != info.Bytes {
+		t.Fatalf("blob GET: status %d, %d bytes (want %d), err %v", resp.StatusCode, len(raw), info.Bytes, err)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/blobs/"+strings.Repeat("00", 32), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing blob status %d, want 404", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v2/blobs/not-a-sha", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed sha status %d, want 400", code)
+	}
+
+	// Deleting a blob the node's own manifest references is refused —
+	// it would strand the dataset with no safeguard. Dropping the
+	// dataset first makes the same delete legal.
+	if code := doJSON(t, "DELETE", ts.URL+"/v2/blobs/"+info.SHA256, nil, nil); code != http.StatusConflict {
+		t.Fatalf("referenced blob delete status %d, want 409", code)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v2/datasets/m", nil, nil); code != http.StatusOK {
+		t.Fatalf("dataset delete status %d", code)
+	}
+	// The dataset removal already unlinked the unreferenced blob; a
+	// tier-level delete of the now-absent address is a clean no-op.
+	if code := doJSON(t, "DELETE", ts.URL+"/v2/blobs/"+info.SHA256, nil, nil); code != http.StatusOK {
+		t.Fatalf("unreferenced blob delete status %d, want 200", code)
 	}
 }

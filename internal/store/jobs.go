@@ -184,14 +184,16 @@ func (s *Store) submitJob(kind JobKind, graphName string, p Params) (*job, JobVi
 	_, resident := s.graphs[graphName]
 	s.mu.Unlock()
 	if !resident {
-		// Not resident — still submittable when the dataset catalog knows
-		// the name: the job's compute path faults it in lazily. The
-		// catalog is consulted outside s.mu; its mutex can be held across
-		// manifest fsyncs by a concurrent ingest, and that disk latency
-		// must never ride the store's global lock.
+		// Not resident — still submittable when the dataset catalog can
+		// resolve the name: locally, or by adopting a peer's record
+		// through a remote blob backend (the job's compute path then
+		// faults the snapshot in lazily). The catalog is consulted
+		// outside s.mu; its mutex can be held across manifest fsyncs by
+		// a concurrent ingest — and a remote lookup adds network latency
+		// — so neither must ever ride the store's global lock.
 		known := false
 		if s.cfg.Catalog != nil {
-			_, ierr := s.cfg.Catalog.Info(graphName)
+			_, ierr := s.cfg.Catalog.Resolve(graphName)
 			known = ierr == nil
 		}
 		if !known {

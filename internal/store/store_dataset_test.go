@@ -2,7 +2,11 @@ package store
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -124,6 +128,78 @@ func TestDatasetFaultInMissingName(t *testing.T) {
 	defer s2.Close()
 	if _, _, err := s2.Decompose(context.Background(), "ghost", Params{}); !errors.As(err, &nf) {
 		t.Fatalf("err = %v, want NotFoundError", err)
+	}
+}
+
+// TestDatasetFaultInThroughRemoteBackend drives the store's lazy
+// fault-in across a shared blob tier: the "tier" is a plain HTTP server
+// over another catalog's blob store plus a name-lookup route — no
+// graphdiamd required — and a cold query on a store whose catalog uses a
+// RemoteStore adopts the name, downloads the snapshot, and computes the
+// same answer as a local run.
+func TestDatasetFaultInThroughRemoteBackend(t *testing.T) {
+	tier := newCatalogWith(t, map[string]string{"fleetwide": "mesh:24"})
+	mux := http.NewServeMux()
+	mux.Handle("/v2/blobs/", http.StripPrefix("/v2/blobs", dataset.BlobServer(tier.Blobs(), tier.ReferencesBlob)))
+	mux.HandleFunc("/v2/datasets/", func(w http.ResponseWriter, r *http.Request) {
+		in, err := tier.Info(strings.TrimPrefix(r.URL.Path, "/v2/datasets/"))
+		if err != nil {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(in)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	dirB := t.TempDir()
+	remote, err := dataset.NewRemoteStore(ts.URL, filepath.Join(dirB, "cache"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catB, err := dataset.Open(dirB, dataset.Options{Blobs: remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { catB.Close() })
+	s := New(Config{Catalog: catB})
+	defer s.Close()
+
+	res, cached, err := s.Diameter(context.Background(), "fleetwide", Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("diameter via remote backend: %v", err)
+	}
+	if cached {
+		t.Fatal("cold remote query reported cached")
+	}
+	g, err := gen.FromSpec("mesh:24", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := New(Config{})
+	defer mem.Close()
+	if _, err := mem.AddGraph("fleetwide", g, "direct"); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := mem.Diameter(context.Background(), "fleetwide", Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != want.Estimate || res.Metrics != want.Metrics {
+		t.Fatalf("remote-backed result %+v differs from in-memory %+v", res, want)
+	}
+	// Jobs submitted by bare name also resolve through the backend.
+	final, err := s.RunJobSync(context.Background(), JobDiameter, "fleetwide", Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("job naming remote dataset: %v", err)
+	}
+	if !final.Cached {
+		t.Fatal("identical job after fault-in should hit the cache")
+	}
+	// Truly unknown names still surface NotFound, not a backend error.
+	var nf *NotFoundError
+	if _, _, err := s.Diameter(context.Background(), "nowhere", Params{}); !errors.As(err, &nf) {
+		t.Fatalf("unknown name via remote backend: %v, want NotFoundError", err)
 	}
 }
 
