@@ -41,6 +41,17 @@
 // quarantine/, daemon keeps serving). Sweep telemetry is reported by
 // GET /v2/datasets.
 //
+// -peers joins this daemon into a fixed fleet: pass every daemon's base
+// URL comma-separated in rank order (self included) and this daemon's
+// index as -worker-id. A fleet daemon answers POST /v2/distributed/jobs by
+// splitting the run's workers across all daemons over an HTTP BSP
+// transport — results and the paper's round/message/update accounting are
+// bit-identical to a single-process run with the same total worker count.
+// Graphs are resolved per daemon by name: combine with -data-dir and
+// -blob-url so every daemon adopts the identical dataset by content
+// address. -barrier-timeout bounds each superstep's wait for remote
+// frames.
+//
 // -preload accepts two value shapes: a generator spec ("usa=road:256",
 // see gen.FromSpec) or "name=file:/path" naming a graph file in any
 // supported format (edgelist, DIMACS, METIS, binary; gzip transparent;
@@ -123,6 +134,9 @@ func main() {
 		datasetBudget = flag.String("dataset-budget", "", "catalog disk budget, e.g. 512M or 8G (empty = unlimited)")
 		blobURL       = flag.String("blob-url", "", "base URL of a shared snapshot blob tier, e.g. http://peer:8080 (requires -data-dir)")
 		verifyEvery   = flag.Duration("verify-interval", 0, "background integrity sweep interval, e.g. 30m (0 = disabled; requires -data-dir)")
+		peerList      = flag.String("peers", "", "comma-separated base URLs of every fleet daemon in rank order, self included (enables distributed runs)")
+		workerID      = flag.Int("worker-id", 0, "this daemon's rank in -peers")
+		barrierTO     = flag.Duration("barrier-timeout", 0, "per-superstep wait for remote BSP frames (0 = default 30s; requires -peers)")
 		pre           preloads
 	)
 	flag.Var(&pre, "preload", "register a graph at boot as name=spec or name=file:/path (repeatable)")
@@ -175,11 +189,34 @@ func main() {
 		}
 	}
 
+	var dist *store.DistributedConfig
+	if *peerList != "" {
+		peers := strings.Split(*peerList, ",")
+		for i := range peers {
+			peers[i] = strings.TrimRight(strings.TrimSpace(peers[i]), "/")
+			if peers[i] == "" {
+				logger.Fatalf("bad -peers: empty URL at position %d", i)
+			}
+		}
+		if *workerID < 0 || *workerID >= len(peers) {
+			logger.Fatalf("-worker-id %d out of range for %d peers", *workerID, len(peers))
+		}
+		dist = &store.DistributedConfig{
+			Rank:           *workerID,
+			Peers:          peers,
+			BarrierTimeout: *barrierTO,
+		}
+		logger.Printf("distributed: rank %d of %d-daemon fleet", *workerID, len(peers))
+	} else if *barrierTO != 0 {
+		logger.Fatalf("-barrier-timeout requires -peers")
+	}
+
 	st := store.New(store.Config{
 		MaxEntries:    *maxEntries,
 		MaxConcurrent: *maxConcurrent,
 		MaxJobs:       *maxJobs,
 		Catalog:       cat,
+		Distributed:   dist,
 	})
 	defer st.Close()
 	for _, p := range pre {

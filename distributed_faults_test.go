@@ -1,0 +1,221 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphdiam/internal/bsp"
+	"graphdiam/internal/bsp/transport"
+)
+
+// waitGoroutinesMain polls until the goroutine count drops back to (near)
+// the baseline — the cancel-drain assertion of the PR 2 cancellation tests,
+// applied to fleet failures: a dead peer must not leave participant
+// goroutines or pool workers behind.
+func waitGoroutinesMain(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d now vs %d before", runtime.NumGoroutine(), baseline)
+}
+
+// faultOutcome asserts the fault-injection contract on one fleet's results:
+// either every peer completed with the exact clean-run outcome (faults were
+// absorbed by retries), or every peer failed with a classified transport
+// error — never a hang (bounded by the sim barrier watchdog) and never a
+// wrong result.
+func faultOutcome(t *testing.T, name string, ref algoRun, outs []algoRun, errs []error) (completed bool) {
+	t.Helper()
+	anyErr := false
+	for _, err := range errs {
+		if err != nil {
+			anyErr = true
+			break
+		}
+	}
+	if !anyErr {
+		for r := range outs {
+			if outs[r] != ref {
+				t.Errorf("%s: peer %d completed with wrong outcome %+v, want %+v",
+					name, r, outs[r].snap, ref.snap)
+			}
+		}
+		return true
+	}
+	for r, err := range errs {
+		if err == nil {
+			// A peer may legitimately finish before the failure lands (it
+			// completed its last step while others still had exchanges in
+			// flight) — but then its result must still be the correct one.
+			if outs[r] != ref {
+				t.Errorf("%s: peer %d 'succeeded' with wrong outcome after fleet failure", name, r)
+			}
+			continue
+		}
+		var terr *transport.Error
+		if !errors.As(err, &terr) {
+			t.Errorf("%s: peer %d failed with unclassified error: %v", name, r, err)
+		}
+	}
+	return false
+}
+
+func simRunName(algo string, plan transport.FaultPlan) string {
+	return fmt.Sprintf("%s/seed=%d/drop=%v/reorder=%v/parts=%d",
+		algo, plan.Seed, plan.DropRate, plan.Reorder, len(plan.Partitions))
+}
+
+// TestFaultInjectionRetriesAreInvisible: seeded drop schedules within the
+// retry budget — and arbitrary delivery reordering — must be completely
+// invisible: the run completes with accounting and results bit-identical to
+// the fault-free run, and the drop schedules demonstrably exercised the
+// retry path.
+func TestFaultInjectionRetriesAreInvisible(t *testing.T) {
+	tg := equivGraphs()[0]
+	const workers, peers = 4, 2
+	for _, algo := range []string{"cluster", "deltastep"} {
+		ref := func() algoRun {
+			e := bsp.New(workers)
+			defer e.Close()
+			out, err := runAlgo(tg.g, algo, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}()
+		plans := []transport.FaultPlan{
+			{Seed: 101, DropRate: 0.25},
+			{Seed: 202, DropRate: 0.4, Reorder: true},
+			{Seed: 303, Reorder: true},
+			// A partition that heals under retry: peer 1 is cut off for a
+			// step window, but every delivery succeeds on its 4th attempt.
+			{Seed: 404, Partitions: []transport.Partition{
+				{FromStep: 2, ToStep: 10, Peer: 1, FailAttempts: 3}}},
+		}
+		for _, plan := range plans {
+			name := simRunName(algo, plan)
+			net, trs := simFleet(peers, plan)
+			outs, errs := runFleet(t, tg.g, algo, workers, trs)
+			for r := range errs {
+				if errs[r] != nil {
+					t.Fatalf("%s: peer %d failed, faults should have healed: %v", name, r, errs[r])
+				}
+				if outs[r] != ref {
+					t.Errorf("%s: peer %d outcome %+v diverged from fault-free %+v",
+						name, r, outs[r].snap, ref.snap)
+				}
+			}
+			if (plan.DropRate > 0 || len(plan.Partitions) > 0) && net.Retries() == 0 {
+				t.Errorf("%s: plan injected no drops — schedule exercised nothing", name)
+			}
+		}
+	}
+}
+
+// TestFaultInjectionHardPartitionFailsCleanly: a partition that outlasts the
+// retry budget must fail the run on every peer with a classified error —
+// promptly (no reliance on the wall-clock watchdog: exhausted attempts are
+// detected deterministically) and with all goroutines drained.
+func TestFaultInjectionHardPartitionFailsCleanly(t *testing.T) {
+	tg := equivGraphs()[0]
+	const workers, peers = 4, 2
+	ref := func() algoRun {
+		e := bsp.New(workers)
+		defer e.Close()
+		out, err := runAlgo(tg.g, "cluster", e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}()
+	baseline := runtime.NumGoroutine()
+	plan := transport.FaultPlan{Seed: 9, MaxAttempts: 4, Partitions: []transport.Partition{
+		{FromStep: 5, ToStep: 1 << 60, Peer: 1, FailAttempts: 1 << 30}}}
+	net, trs := simFleet(peers, plan)
+	start := time.Now()
+	outs, errs := runFleet(t, tg.g, "cluster", workers, trs)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("hard partition took %v to fail — hung past deterministic detection", elapsed)
+	}
+	if faultOutcome(t, "hard-partition", ref, outs, errs) {
+		t.Fatalf("hard partition did not fail the run")
+	}
+	sawUnreachable := false
+	for _, err := range errs {
+		var terr *transport.Error
+		if errors.As(err, &terr) && terr.Kind == transport.ErrUnreachable {
+			sawUnreachable = true
+		}
+	}
+	if !sawUnreachable {
+		t.Errorf("no peer classified the hard partition as unreachable: %v", errs)
+	}
+	if net.Retries() == 0 {
+		t.Errorf("partition never exercised a retry before failing")
+	}
+	waitGoroutinesMain(t, baseline)
+}
+
+// TestFaultInjectionPeerDeathMidRun: a peer crashing mid-superstep must fail
+// every surviving peer deterministically with ErrPeerDown (no waiting out
+// the barrier watchdog), and the whole fleet's goroutines must drain.
+func TestFaultInjectionPeerDeathMidRun(t *testing.T) {
+	tg := equivGraphs()[0]
+	const workers, peers = 4, 2
+	baseline := runtime.NumGoroutine()
+	plan := transport.FaultPlan{DieAtStep: map[int]uint64{1: 7}}
+	_, trs := simFleet(peers, plan)
+	start := time.Now()
+	_, errs := runFleet(t, tg.g, "cluster", workers, trs)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("peer death took %v to propagate", elapsed)
+	}
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("peer %d completed despite scheduled fleet death", r)
+		}
+		var terr *transport.Error
+		if !errors.As(err, &terr) {
+			t.Fatalf("peer %d failed with unclassified error: %v", r, err)
+		}
+		if terr.Kind != transport.ErrPeerDown {
+			t.Errorf("peer %d classified death as %v, want peer-down (%v)", r, terr.Kind, err)
+		}
+	}
+	waitGoroutinesMain(t, baseline)
+}
+
+// TestFaultInjectionDeterministicReplay: the same seeded lossy plan run
+// twice produces the same retry count — the fault schedule is a pure
+// function of (seed, step, sender, receiver, attempt), so a failing
+// schedule replays exactly.
+func TestFaultInjectionDeterministicReplay(t *testing.T) {
+	tg := equivGraphs()[0]
+	const workers, peers = 4, 2
+	plan := transport.FaultPlan{Seed: 77, DropRate: 0.3}
+	var retries [2]int64
+	for i := range retries {
+		net, trs := simFleet(peers, plan)
+		_, errs := runFleet(t, tg.g, "deltastep", workers, trs)
+		for r := range errs {
+			if errs[r] != nil {
+				t.Fatalf("run %d peer %d: %v", i, r, errs[r])
+			}
+		}
+		retries[i] = net.Retries()
+	}
+	if retries[0] != retries[1] {
+		t.Errorf("retry schedule not reproducible: %d vs %d", retries[0], retries[1])
+	}
+	if retries[0] == 0 {
+		t.Errorf("lossy plan induced no retries")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"graphdiam/internal/bsp"
+	"graphdiam/internal/bsp/transport"
 	"graphdiam/internal/core"
 	"graphdiam/internal/exp"
 	"graphdiam/internal/graph"
@@ -113,6 +114,39 @@ func TestGoldenMetricSnapshots(t *testing.T) {
 		if got != tc.want {
 			t.Errorf("%s/%s workers=%d: snapshot %+v, want %+v (pre-PR golden)",
 				tc.graph, tc.algo, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestGoldenMetricSnapshotsDistributed re-runs every golden cell with the
+// workers split across two simulated-network daemons. The pinned values are
+// the SAME pre-PR-3 goldens: distributing the engine must not perturb the
+// paper's accounting by even one message. Cells with workers < 2 cannot be
+// split and are covered by the single-process test above.
+func TestGoldenMetricSnapshotsDistributed(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+	for _, ng := range exp.BenchmarkGraphs(exp.ScaleTest, 12345)[:3] {
+		graphs[ng.Name] = ng.G
+	}
+	const peers = 2
+	for _, tc := range goldenSnapshots {
+		if tc.workers < peers {
+			continue
+		}
+		g := graphs[tc.graph]
+		if g == nil {
+			t.Fatalf("unknown golden graph %q", tc.graph)
+		}
+		_, trs := simFleet(peers, transport.FaultPlan{})
+		outs, errs := runFleet(t, g, tc.algo, tc.workers, trs)
+		for r := range outs {
+			if errs[r] != nil {
+				t.Fatalf("%s/%s workers=%d peer %d: %v", tc.graph, tc.algo, tc.workers, r, errs[r])
+			}
+			if outs[r].snap != tc.want {
+				t.Errorf("%s/%s workers=%d peer %d: snapshot %+v, want %+v (pre-PR golden)",
+					tc.graph, tc.algo, tc.workers, r, outs[r].snap, tc.want)
+			}
 		}
 	}
 }

@@ -105,6 +105,7 @@ type Engine struct {
 	critPath atomic.Int64    // ns; accumulated max per-step worker time
 	metrics  Metrics
 	pool     *workerPool // lazily started; nil for sequential/simulated engines
+	dist     *distEngine // non-nil when workers span processes (see dist.go)
 }
 
 // workerPool is the persistent execution crew of a concurrent engine:
@@ -231,9 +232,13 @@ func (e *Engine) Context() context.Context {
 	return e.ctx
 }
 
-// Err returns the bound context's error, nil while the run may proceed.
-// Algorithms check it between supersteps and abandon the run when non-nil.
+// Err returns the bound context's error — or, for distributed engines, the
+// sticky first transport failure — nil while the run may proceed. Algorithms
+// check it between supersteps and abandon the run when non-nil.
 func (e *Engine) Err() error {
+	if e.dist != nil && e.dist.err != nil {
+		return e.dist.err
+	}
 	if e.ctx == nil {
 		return nil
 	}
@@ -332,6 +337,11 @@ func (r Router) Owner(i uint32) int {
 // blocking until all complete. It does not count a round; use Superstep
 // for metered steps.
 //
+// Distributed engines execute only the workers this process owns
+// (OwnedWorkers); the partition geometry is still that of the full P
+// workers, so worker indices, ranges, and routing are identical to the
+// single-process run.
+//
 // When the bound context is already cancelled, fn is not executed at all:
 // the step degenerates to a no-op barrier so that an algorithm whose
 // cancellation check lives a few supersteps up the call chain cannot keep
@@ -340,9 +350,13 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 	if e.Err() != nil {
 		return
 	}
+	lo, hi := 0, e.workers
+	if e.dist != nil {
+		lo, hi = e.dist.ownLo, e.dist.ownHi
+	}
 	if e.simulate {
 		var maxNS int64
-		for w := 0; w < e.workers; w++ {
+		for w := lo; w < hi; w++ {
 			start, end := e.Partition(n, w)
 			t0 := time.Now()
 			fn(w, start, end)
@@ -353,18 +367,20 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 		e.critPath.Add(maxNS)
 		return
 	}
-	if e.workers == 1 {
-		fn(0, 0, n)
+	if hi-lo == 1 {
+		start, end := e.Partition(n, lo)
+		fn(lo, start, end)
 		return
 	}
 	if e.pool == nil && !e.closed {
-		e.pool = newWorkerPool(e.workers)
+		e.pool = newWorkerPool(hi - lo)
 		// Safety net for engines abandoned without Close (e.g. defaulted
 		// engines deep inside a run): drain the pool once unreachable.
 		runtime.SetFinalizer(e, (*Engine).Close)
 	}
 	if p := e.pool; p != nil {
-		p.dispatch(func(w int) {
+		p.dispatch(func(slot int) {
+			w := lo + slot
 			start, end := e.Partition(n, w)
 			fn(w, start, end)
 		})
@@ -372,8 +388,8 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 	}
 	// Closed engine: degrade to transient goroutines rather than failing.
 	var wg sync.WaitGroup
-	wg.Add(e.workers)
-	for w := 0; w < e.workers; w++ {
+	wg.Add(hi - lo)
+	for w := lo; w < hi; w++ {
 		go func(w int) {
 			defer wg.Done()
 			start, end := e.Partition(n, w)
@@ -412,13 +428,25 @@ func (e *Engine) Superstep(n int, fn func(worker, start, end int)) {
 }
 
 // ReduceFloat64 runs fn per worker, each returning a float64, and combines
-// the results with combine (e.g. math.Max). Not metered.
+// the results with combine (e.g. math.Max). Not metered. Distributed
+// engines gather the remote workers' partials and fold the full P-entry
+// array sequentially in worker order, so float combining is bit-exact
+// against the single-process run; a transport failure returns 0 with the
+// error sticky in Err().
 func (e *Engine) ReduceFloat64(n int, fn func(worker, start, end int) float64,
 	combine func(a, b float64) float64) float64 {
 	partial := make([]float64, e.workers)
 	e.ParallelFor(n, func(w, start, end int) {
 		partial[w] = fn(w, start, end)
 	})
+	if d := e.dist; d != nil {
+		if e.Err() != nil {
+			return 0
+		}
+		if err := d.gatherFloat64s(e, partial); err != nil {
+			return 0
+		}
+	}
 	acc := partial[0]
 	for _, p := range partial[1:] {
 		acc = combine(acc, p)
@@ -427,12 +455,21 @@ func (e *Engine) ReduceFloat64(n int, fn func(worker, start, end int) float64,
 }
 
 // ReduceInt runs fn per worker returning an int, and sums the results.
-// Not metered.
+// Not metered. Distributed engines return the fleet-wide sum; a transport
+// failure returns 0 with the error sticky in Err().
 func (e *Engine) ReduceInt(n int, fn func(worker, start, end int) int) int {
 	partial := make([]int, e.workers)
 	e.ParallelFor(n, func(w, start, end int) {
 		partial[w] = fn(w, start, end)
 	})
+	if d := e.dist; d != nil {
+		if e.Err() != nil {
+			return 0
+		}
+		if err := d.gatherInts(e, partial); err != nil {
+			return 0
+		}
+	}
 	total := 0
 	for _, p := range partial {
 		total += p

@@ -8,6 +8,9 @@ package bsp
 type Mailboxes[T any] struct {
 	// boxes[src][dst] is the buffer of messages from worker src to dst.
 	boxes [][][]T
+	// chk asserts the single-writer-per-src discipline when the bspcheck
+	// build tag is on; a zero-cost no-op otherwise (see mailcheck_off.go).
+	chk mailboxCheck
 }
 
 // NewMailboxes returns mailboxes for the given worker count.
@@ -16,7 +19,9 @@ func NewMailboxes[T any](workers int) *Mailboxes[T] {
 	for i := range boxes {
 		boxes[i] = make([][]T, workers)
 	}
-	return &Mailboxes[T]{boxes: boxes}
+	m := &Mailboxes[T]{boxes: boxes}
+	m.chk.init(workers)
+	return m
 }
 
 // Workers returns the number of workers the mailboxes were built for.
@@ -26,7 +31,9 @@ func (m *Mailboxes[T]) Workers() int { return len(m.boxes) }
 // distinct src workers, but a single src must not be used from two
 // goroutines at once.
 func (m *Mailboxes[T]) Send(src, dst int, msg T) {
+	m.chk.beginSrc(src)
 	m.boxes[src][dst] = append(m.boxes[src][dst], msg)
+	m.chk.endSrc(src)
 }
 
 // Recv invokes fn for every message addressed to dst, in sender order.
@@ -39,8 +46,10 @@ func (m *Mailboxes[T]) Recv(dst int, fn func(T)) {
 	}
 }
 
-// CountTo returns the number of pending messages addressed to dst.
+// CountTo returns the number of pending messages addressed to dst. Like
+// Recv, it must only be called after all senders have passed the barrier.
 func (m *Mailboxes[T]) CountTo(dst int) int {
+	m.chk.quiesced("CountTo")
 	total := 0
 	for src := range m.boxes {
 		total += len(m.boxes[src][dst])
@@ -63,6 +72,7 @@ func (m *Mailboxes[T]) Count() int64 {
 // worker clears its own inboxes via ClearTo after consuming them; Clear is
 // the sequential fallback between supersteps.
 func (m *Mailboxes[T]) Clear() {
+	m.chk.quiesced("Clear")
 	for src := range m.boxes {
 		for dst := range m.boxes[src] {
 			m.boxes[src][dst] = m.boxes[src][dst][:0]

@@ -1,0 +1,14 @@
+//go:build !bspcheck
+
+package bsp
+
+// mailboxCheck is the production no-op version of the mailbox misuse
+// detector; its methods compile away entirely. Build with -tags bspcheck
+// (the race CI lane does) to swap in the checking implementation from
+// mailcheck_on.go.
+type mailboxCheck struct{}
+
+func (mailboxCheck) init(int)        {}
+func (mailboxCheck) beginSrc(int)    {}
+func (mailboxCheck) endSrc(int)      {}
+func (mailboxCheck) quiesced(string) {}

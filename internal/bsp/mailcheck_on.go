@@ -1,0 +1,43 @@
+//go:build bspcheck
+
+package bsp
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// mailboxCheck asserts the documented mailbox discipline at runtime:
+// a single writer per src (Send may run concurrently only for distinct
+// sources) and no whole-mailbox operations (Clear, CountTo) while any
+// sender is mid-Send. Violations panic with the offending source.
+//
+// Enabled by the bspcheck build tag; the default build uses the no-op
+// twin in mailcheck_off.go. The transport layer multiplies the ways to
+// break this discipline (a decoder writing while a sender still runs),
+// so the race CI lane builds the bsp tests with -tags bspcheck.
+type mailboxCheck struct {
+	busy []atomic.Int32
+}
+
+func (c *mailboxCheck) init(workers int) {
+	c.busy = make([]atomic.Int32, workers)
+}
+
+func (c *mailboxCheck) beginSrc(src int) {
+	if !c.busy[src].CompareAndSwap(0, 1) {
+		panic(fmt.Sprintf("bsp: concurrent mailbox writers on src %d (single-writer-per-src discipline violated)", src))
+	}
+}
+
+func (c *mailboxCheck) endSrc(src int) {
+	c.busy[src].Store(0)
+}
+
+func (c *mailboxCheck) quiesced(op string) {
+	for src := range c.busy {
+		if c.busy[src].Load() != 0 {
+			panic(fmt.Sprintf("bsp: Mailboxes.%s while src %d is mid-Send (must run after the barrier)", op, src))
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Registry is the server-side half of the HTTP transport: it buffers frame
+// blobs POSTed by remote peers until the local participant collects them at
+// its barrier. One Registry serves a whole daemon; runs are keyed by ID.
+//
+// Frames can legitimately arrive before the local participant has started
+// (the coordinator fans the run out and every peer begins stepping
+// immediately), so Deliver creates the inbox on first use; unclaimed
+// inboxes are expired lazily so an aborted fan-out cannot leak memory.
+type Registry struct {
+	mu   sync.Mutex
+	runs map[string]*Inbox
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{runs: make(map[string]*Inbox)}
+}
+
+// unclaimedTTL bounds how long an inbox nobody ever opened is retained.
+const unclaimedTTL = 5 * time.Minute
+
+// Deliver buffers one frame blob for (runID, step, from). Duplicate
+// deliveries (client retries after a lost response) are idempotent
+// overwrites. Blobs for steps the participant already collected are
+// discarded; a step unreasonably far ahead of the collection floor is a
+// protocol error (a diverged or malicious peer).
+func (r *Registry) Deliver(runID string, step uint64, from int, blob []byte) error {
+	ib := r.inbox(runID, false)
+	return ib.deliver(step, from, blob)
+}
+
+// Open claims the run's inbox for the local participant.
+func (r *Registry) Open(runID string) *Inbox {
+	return r.inbox(runID, true)
+}
+
+// Release drops the run's inbox, failing any blocked collector.
+func (r *Registry) Release(runID string) {
+	r.mu.Lock()
+	ib := r.runs[runID]
+	delete(r.runs, runID)
+	r.mu.Unlock()
+	if ib != nil {
+		ib.close()
+	}
+}
+
+func (r *Registry) inbox(runID string, claim bool) *Inbox {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	for id, ib := range r.runs {
+		if ib.expired(now) {
+			delete(r.runs, id)
+			ib.close()
+		}
+	}
+	ib := r.runs[runID]
+	if ib == nil {
+		ib = &Inbox{
+			steps:   make(map[uint64]map[int][]byte),
+			wake:    make(chan struct{}),
+			created: now,
+		}
+		r.runs[runID] = ib
+	}
+	if claim {
+		ib.claimed = true
+	}
+	return ib
+}
+
+// Inbox accumulates one run's inbound frames, keyed by (step, sender).
+type Inbox struct {
+	mu      sync.Mutex
+	steps   map[uint64]map[int][]byte
+	wake    chan struct{} // closed+replaced on every delivery
+	floor   uint64        // steps below this were collected already
+	claimed bool
+	closed  bool
+	created time.Time
+}
+
+// stepWindow bounds how far ahead of the collection floor a delivery may
+// run. Peers in lockstep are at most one step apart; anything beyond a
+// small window means divergence.
+const stepWindow = 64
+
+func (ib *Inbox) expired(now time.Time) bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return !ib.claimed && now.Sub(ib.created) > unclaimedTTL
+}
+
+func (ib *Inbox) close() {
+	ib.mu.Lock()
+	if !ib.closed {
+		ib.closed = true
+		close(ib.wake)
+	}
+	ib.mu.Unlock()
+}
+
+func (ib *Inbox) deliver(step uint64, from int, blob []byte) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return Errorf(ErrClosed, from, step, "run is over")
+	}
+	if step < ib.floor {
+		return nil // late duplicate of a collected step: drop silently
+	}
+	if step > ib.floor+stepWindow {
+		return Errorf(ErrProtocol, from, step,
+			"delivery %d steps ahead of collection floor %d", step-ib.floor, ib.floor)
+	}
+	m := ib.steps[step]
+	if m == nil {
+		m = make(map[int][]byte)
+		ib.steps[step] = m
+	}
+	m[from] = blob
+	close(ib.wake)
+	ib.wake = make(chan struct{})
+	return nil
+}
+
+// collect blocks until want senders have delivered for step (or the context
+// is cancelled / the barrier timeout expires), then returns and forgets the
+// step's blobs.
+func (ib *Inbox) collect(ctx context.Context, step uint64, want int, timeout time.Duration) (map[int][]byte, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ib.mu.Lock()
+		if ib.closed {
+			ib.mu.Unlock()
+			return nil, Errorf(ErrClosed, -1, step, "inbox released mid-run")
+		}
+		if m := ib.steps[step]; len(m) >= want {
+			delete(ib.steps, step)
+			if step >= ib.floor {
+				ib.floor = step + 1
+			}
+			ib.mu.Unlock()
+			return m, nil
+		}
+		got := len(ib.steps[step])
+		wake := ib.wake
+		ib.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, Errorf(ErrClosed, -1, step, "cancelled while waiting at barrier: %v", ctx.Err())
+		case <-deadline.C:
+			return nil, Errorf(ErrBarrierTimeout, -1, step,
+				"barrier did not fill within %v (%d/%d peers arrived)", timeout, got, want)
+		}
+	}
+}
+
+// HTTPConfig wires one peer of an HTTP-transported run.
+type HTTPConfig struct {
+	// RunID names the run fleet-wide; all peers must agree.
+	RunID string
+	// Rank is this peer's index into PeerURLs.
+	Rank int
+	// PeerURLs lists every peer's base URL in rank order (the entry at Rank
+	// is never dialled).
+	PeerURLs []string
+	// Registry is the local daemon's inbox registry (the server side of
+	// /v2/bsp/frames must deliver into the same one).
+	Registry *Registry
+	// Client performs the POSTs; nil selects a default with a response
+	// header timeout, so one wedged peer cannot hang a send forever.
+	Client *http.Client
+	// BarrierTimeout bounds the wait for inbound frames per step; 0 selects
+	// DefaultBarrierTimeout.
+	BarrierTimeout time.Duration
+	// SendRetries and SendBackoff shape delivery retry: up to 1+SendRetries
+	// attempts with exponential backoff starting at SendBackoff. Zeros
+	// select 4 and 50ms.
+	SendRetries int
+	SendBackoff time.Duration
+}
+
+// HTTPTransport exchanges frame blobs between daemons over plain HTTP
+// POSTs: send-side retry with exponential backoff makes transient failures
+// invisible (deliveries are idempotent per (step, sender)), and the inbox
+// barrier classifies everything else — an unreachable peer fails the step
+// with ErrUnreachable, a peer that stops stepping with ErrBarrierTimeout.
+type HTTPTransport struct {
+	cfg   HTTPConfig
+	ctx   context.Context
+	inbox *Inbox
+}
+
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{ResponseHeaderTimeout: 30 * time.Second},
+}
+
+// NewHTTP builds the transport for one peer of a run. ctx cancels blocked
+// sends and barrier waits (use the participant's run context).
+func NewHTTP(ctx context.Context, cfg HTTPConfig) (*HTTPTransport, error) {
+	if cfg.Rank < 0 || cfg.Rank >= len(cfg.PeerURLs) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d peers", cfg.Rank, len(cfg.PeerURLs))
+	}
+	if cfg.RunID == "" {
+		return nil, fmt.Errorf("transport: empty run ID")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("transport: nil registry")
+	}
+	if cfg.Client == nil {
+		cfg.Client = defaultHTTPClient
+	}
+	if cfg.BarrierTimeout <= 0 {
+		cfg.BarrierTimeout = DefaultBarrierTimeout
+	}
+	if cfg.SendRetries <= 0 {
+		cfg.SendRetries = 4
+	}
+	if cfg.SendBackoff <= 0 {
+		cfg.SendBackoff = 50 * time.Millisecond
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &HTTPTransport{cfg: cfg, ctx: ctx, inbox: cfg.Registry.Open(cfg.RunID)}, nil
+}
+
+func (t *HTTPTransport) Rank() int  { return t.cfg.Rank }
+func (t *HTTPTransport) Peers() int { return len(t.cfg.PeerURLs) }
+
+// Close releases the run's inbox.
+func (t *HTTPTransport) Close() error {
+	t.cfg.Registry.Release(t.cfg.RunID)
+	return nil
+}
+
+func (t *HTTPTransport) Step(step uint64, out [][]byte) ([][]byte, error) {
+	peers := len(t.cfg.PeerURLs)
+	if len(out) != peers {
+		return nil, Errorf(ErrProtocol, t.cfg.Rank, step, "out has %d blobs for %d peers", len(out), peers)
+	}
+	if peers == 1 {
+		return [][]byte{out[0]}, nil
+	}
+	// Fan the outbound blobs to every remote peer concurrently; the first
+	// classified failure wins.
+	errs := make(chan error, peers-1)
+	var wg sync.WaitGroup
+	for q := 0; q < peers; q++ {
+		if q == t.cfg.Rank {
+			continue
+		}
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			errs <- t.post(q, step, out[q])
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	inMap, err := t.inbox.collect(t.ctx, step, peers-1, t.cfg.BarrierTimeout)
+	if err != nil {
+		return nil, err
+	}
+	in := make([][]byte, peers)
+	in[t.cfg.Rank] = out[t.cfg.Rank]
+	for from, blob := range inMap {
+		if from < 0 || from >= peers || from == t.cfg.Rank {
+			return nil, Errorf(ErrProtocol, from, step, "frame from impossible rank")
+		}
+		in[from] = blob
+	}
+	return in, nil
+}
+
+// post delivers one blob to peer q with retry/backoff. A 2xx is success, a
+// 4xx is a protocol error (retrying cannot help), anything else retries.
+func (t *HTTPTransport) post(q int, step uint64, blob []byte) error {
+	u := fmt.Sprintf("%s/v2/bsp/frames?run=%s&step=%d&from=%d",
+		t.cfg.PeerURLs[q], url.QueryEscape(t.cfg.RunID), step, t.cfg.Rank)
+	backoff := t.cfg.SendBackoff
+	var lastErr error
+	for attempt := 0; attempt <= t.cfg.SendRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-t.ctx.Done():
+				return Errorf(ErrClosed, q, step, "cancelled while retrying send: %v", t.ctx.Err())
+			}
+		}
+		req, err := http.NewRequestWithContext(t.ctx, http.MethodPost, u, bytes.NewReader(blob))
+		if err != nil {
+			return Errorf(ErrProtocol, q, step, "build request: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := t.cfg.Client.Do(req)
+		if err != nil {
+			if t.ctx.Err() != nil {
+				return Errorf(ErrClosed, q, step, "cancelled mid-send: %v", t.ctx.Err())
+			}
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			return nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return Errorf(ErrProtocol, q, step, "peer rejected frames: HTTP %d", resp.StatusCode)
+		default:
+			lastErr = fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+	}
+	return Errorf(ErrUnreachable, q, step, "send retries exhausted: %v", lastErr)
+}

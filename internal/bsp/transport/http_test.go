@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInboxFloorAndWindow: collected steps drop late duplicates silently;
+// deliveries far ahead of the collection floor are protocol errors.
+func TestInboxFloorAndWindow(t *testing.T) {
+	reg := NewRegistry()
+	ib := reg.Open("r")
+	if err := reg.Deliver("r", 0, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ib.collect(context.Background(), 0, 1, time.Second)
+	if err != nil || string(m[1]) != "a" {
+		t.Fatalf("collect: %v %q", err, m)
+	}
+	// Late duplicate of the collected step: dropped without error (the
+	// sender's retry raced its own success).
+	if err := reg.Deliver("r", 0, 1, []byte("dup")); err != nil {
+		t.Fatalf("late duplicate rejected: %v", err)
+	}
+	// Next step must be unaffected by the dropped duplicate.
+	if err := reg.Deliver("r", 1, 1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = ib.collect(context.Background(), 1, 1, time.Second); err != nil || string(m[1]) != "b" {
+		t.Fatalf("collect step 1: %v %q", err, m)
+	}
+	// A delivery claiming a step far past the floor is a diverged peer.
+	err = reg.Deliver("r", 2+stepWindow+1, 1, []byte("x"))
+	var terr *Error
+	if !errors.As(err, &terr) || terr.Kind != ErrProtocol {
+		t.Fatalf("far-ahead delivery: got %v, want protocol error", err)
+	}
+}
+
+// TestInboxIdempotentOverwrite: redelivery of the same (step, from) before
+// collection overwrites — the retried blob is identical in practice, and
+// last-writer-wins keeps the barrier count correct.
+func TestInboxIdempotentOverwrite(t *testing.T) {
+	reg := NewRegistry()
+	ib := reg.Open("r")
+	if err := reg.Deliver("r", 0, 1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Deliver("r", 0, 1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ib.collect(context.Background(), 0, 1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || string(m[1]) != "second" {
+		t.Fatalf("overwrite lost: %q", m)
+	}
+}
+
+// TestRegistryReleaseFailsCollector: releasing the run (participant exits,
+// daemon shuts the job down) unblocks a waiting collector with ErrClosed.
+func TestRegistryReleaseFailsCollector(t *testing.T) {
+	reg := NewRegistry()
+	ib := reg.Open("r")
+	done := make(chan error, 1)
+	go func() {
+		_, err := ib.collect(context.Background(), 0, 1, 10*time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	reg.Release("r")
+	select {
+	case err := <-done:
+		var terr *Error
+		if !errors.As(err, &terr) || terr.Kind != ErrClosed {
+			t.Fatalf("got %v, want closed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not unblock collector")
+	}
+	// Deliveries to the released run are refused.
+	if err := reg.Deliver("r", 0, 1, nil); err != nil {
+		// A fresh inbox is created on delivery — that is the create-on-
+		// deliver contract, so no error here either way is acceptable only
+		// if the new inbox accepted it.
+		t.Fatalf("delivery after release: %v", err)
+	}
+}
+
+// TestHTTPSendRetriesTransientFailures: 5xx responses are retried with
+// backoff until success; the step then completes normally.
+func TestHTTPSendRetriesTransientFailures(t *testing.T) {
+	var hits atomic.Int64
+	var delivered atomic.Int64
+	reg := NewRegistry()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		delivered.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	tr, err := NewHTTP(context.Background(), HTTPConfig{
+		RunID: "r", Rank: 0, PeerURLs: []string{"", srv.URL}, Registry: reg,
+		SendRetries: 4, SendBackoff: time.Millisecond, BarrierTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Pre-deliver peer 1's frame so the barrier fills immediately.
+	if err := reg.Deliver("r", 0, 1, []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	in, err := tr.Step(0, [][]byte{[]byte("self"), []byte("out")})
+	if err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if string(in[0]) != "self" || string(in[1]) != "in" {
+		t.Fatalf("bad inbound: %q %q", in[0], in[1])
+	}
+	if hits.Load() != 3 || delivered.Load() != 1 {
+		t.Fatalf("hits=%d delivered=%d, want 3/1", hits.Load(), delivered.Load())
+	}
+}
+
+// TestHTTPSendClassification: a 4xx fails immediately as a protocol error
+// (no retry can help); exhausted retries against a 5xx classify as
+// unreachable.
+func TestHTTPSendClassification(t *testing.T) {
+	for _, tc := range []struct {
+		status  int
+		want    ErrKind
+		maxHits int64
+	}{
+		{http.StatusBadRequest, ErrProtocol, 1},
+		{http.StatusServiceUnavailable, ErrUnreachable, 3},
+	} {
+		var hits atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			hits.Add(1)
+			http.Error(w, "no", tc.status)
+		}))
+		reg := NewRegistry()
+		tr, err := NewHTTP(context.Background(), HTTPConfig{
+			RunID: "r", Rank: 0, PeerURLs: []string{"", srv.URL}, Registry: reg,
+			SendRetries: 2, SendBackoff: time.Millisecond, BarrierTimeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = tr.Step(0, [][]byte{nil, []byte("out")})
+		var terr *Error
+		if !errors.As(err, &terr) || terr.Kind != tc.want {
+			t.Fatalf("status %d: got %v, want %v", tc.status, err, tc.want)
+		}
+		if hits.Load() != tc.maxHits {
+			t.Fatalf("status %d: %d attempts, want %d", tc.status, hits.Load(), tc.maxHits)
+		}
+		tr.Close()
+		srv.Close()
+	}
+}
+
+// TestHTTPBarrierTimeout: posts succeed but the remote peer never posts
+// back — the step fails with a classified barrier timeout.
+func TestHTTPBarrierTimeout(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	tr, err := NewHTTP(context.Background(), HTTPConfig{
+		RunID: "r", Rank: 0, PeerURLs: []string{"", srv.URL}, Registry: reg,
+		BarrierTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	_, err = tr.Step(0, [][]byte{nil, []byte("out")})
+	var terr *Error
+	if !errors.As(err, &terr) || terr.Kind != ErrBarrierTimeout {
+		t.Fatalf("got %v, want barrier timeout", err)
+	}
+}
+
+// TestHTTPSinglePeerFastPath: a one-peer "fleet" never dials anything.
+func TestHTTPSinglePeerFastPath(t *testing.T) {
+	reg := NewRegistry()
+	tr, err := NewHTTP(context.Background(), HTTPConfig{
+		RunID: "r", Rank: 0, PeerURLs: []string{"http://unreachable.invalid"}, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	in, err := tr.Step(0, [][]byte{[]byte("self")})
+	if err != nil || string(in[0]) != "self" {
+		t.Fatalf("single-peer step: %v %q", err, in)
+	}
+}

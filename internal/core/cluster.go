@@ -106,9 +106,9 @@ func Cluster(ctx context.Context, g *graph.Graph, opts Options) (*Clustering, er
 	e := o.Engine.Bind(ctx)
 	n := g.NumNodes()
 	if n == 0 {
-		return &Clustering{Metrics: e.Metrics().Snapshot()}, nil
+		return &Clustering{Metrics: e.GlobalSnapshot()}, nil
 	}
-	before := e.Metrics().Snapshot()
+	before := e.GlobalSnapshot()
 
 	st := newGrowState(g, e)
 	delta := o.initialDelta(g)
@@ -194,17 +194,18 @@ func Cluster(ctx context.Context, g *graph.Graph, opts Options) (*Clustering, er
 			return nil, err
 		}
 		o.Progress.emit("cluster", stage, delta, n-uncovered, n,
-			diff(before, e.Metrics().Snapshot()))
+			diff(before, e.GlobalSnapshot()))
 	}
 	if uncovered > 0 {
 		st.coverSingletons(stage)
 		stage++
 	}
+	st.syncResult()
+	after := e.GlobalSnapshot()
 	if err := e.Err(); err != nil {
 		return nil, err
 	}
 
-	after := e.Metrics().Snapshot()
 	c := buildClustering(st, stage, delta, growingSteps, diff(before, after))
 	c.MaxPartialGrowthSteps = maxPGSteps
 	o.Progress.emit("cluster", stage, delta, n, n, c.Metrics)

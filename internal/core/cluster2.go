@@ -36,9 +36,9 @@ func Cluster2(ctx context.Context, g *graph.Graph, opts Options) (*Cluster2Resul
 	e := o.Engine.Bind(ctx)
 	n := g.NumNodes()
 	if n == 0 {
-		return &Cluster2Result{Clustering: &Clustering{Metrics: e.Metrics().Snapshot()}}, nil
+		return &Cluster2Result{Clustering: &Clustering{Metrics: e.GlobalSnapshot()}}, nil
 	}
-	before := e.Metrics().Snapshot()
+	before := e.GlobalSnapshot()
 
 	// The preliminary run only calibrates R_CL; suppress its progress so
 	// observers see a single monotone coverage series for the main pass.
@@ -90,18 +90,19 @@ func Cluster2(ctx context.Context, g *graph.Graph, opts Options) (*Cluster2Resul
 		covered := st.finishStage(stage)
 		uncovered -= covered
 		o.Progress.emit("cluster", stage+1, threshold, n-uncovered, n,
-			diff(before, e.Metrics().Snapshot()))
+			diff(before, e.GlobalSnapshot()))
 	}
 	if uncovered > 0 {
 		// Unreachable leftovers (disconnected inputs): singletons.
 		st.coverSingletons(stage)
 		stage++
 	}
+	st.syncResult()
+	after := e.GlobalSnapshot()
 	if err := e.Err(); err != nil {
 		return nil, err
 	}
 
-	after := e.Metrics().Snapshot()
 	c := buildClustering(st, stage, threshold, growingSteps, diff(before, after))
 	o.Progress.emit("cluster", stage, threshold, n, n, c.Metrics)
 	return &Cluster2Result{Clustering: c, RCL: rcl}, nil

@@ -119,7 +119,12 @@ func (st *growState) selectCenters(seed uint64, stage int, p float64) int {
 		return local
 	})
 	st.e.Metrics().AddRounds(1)
-	st.e.Metrics().AddUpdates(int64(count))
+	if st.e.Primary() {
+		// count is already the fleet-wide total (ReduceInt sums across
+		// peers); meter it once so the globally-summed snapshot matches the
+		// single-process run.
+		st.e.Metrics().AddUpdates(int64(count))
+	}
 	return count
 }
 
@@ -133,6 +138,9 @@ func (st *growState) forceCenter(seed uint64, stage int) bool {
 	}
 	P := st.e.Workers()
 	cands := make([]cand, P)
+	for i := range cands {
+		cands[i] = cand{h: 2, u: -1} // non-executed workers must not win
+	}
 	st.e.ParallelFor(st.n, func(w, start, end int) {
 		best := cand{h: 2, u: -1}
 		for u := start; u < end; u++ {
@@ -146,20 +154,31 @@ func (st *growState) forceCenter(seed uint64, stage int) bool {
 		cands[w] = best
 	})
 	best := cand{h: 2, u: -1}
-	for _, c := range cands {
+	lo, hi := st.e.OwnedWorkers()
+	for _, c := range cands[lo:hi] {
 		if c.u >= 0 && c.h < best.h {
 			best = c
 		}
+	}
+	if st.e.Distributed() {
+		// Peer worker ranges are rank-ordered, so folding peer bests in rank
+		// order with the same strict < reproduces the single-process fold.
+		h, u := st.e.GlobalArgMin(best.h, int64(best.u))
+		best = cand{h: h, u: int(u)}
 	}
 	if best.u < 0 {
 		return false
 	}
 	u := best.u
+	// Replicated write: every peer records the same center with the same
+	// values, keeping the full state arrays consistent without a sync.
 	st.center[u] = int32(u)
 	st.stageD[u] = 0
 	st.totalD[u] = 0
 	st.coveredStage[u] = int32(stage)
-	st.e.Metrics().AddUpdates(1)
+	if st.e.Primary() {
+		st.e.Metrics().AddUpdates(1)
+	}
 	return true
 }
 
@@ -251,6 +270,12 @@ func (st *growState) growStep(delta float64, stage int) (changed bool, newly int
 			e.Metrics().AddMessages(sent) // logical relaxations, pre-coalescing
 		}
 	})
+	// Cross-process shipment of the boxes addressed to remote owners; a
+	// no-op for single-process engines. Errors are sticky in the engine and
+	// surface through the drivers' e.Err() checks.
+	if err := bsp.ExchangeCoalescing(e, st.mail, growWire); err != nil {
+		return false, 0
+	}
 	// Apply half: owners take the minimum candidate per node.
 	e.ParallelFor(n, func(w, _, _ int) {
 		var updates, reached int64
@@ -287,10 +312,12 @@ func (st *growState) growStep(delta float64, stage int) (changed bool, newly int
 	})
 	e.Metrics().AddRounds(1)
 	var updates int64
-	for w := range st.roundUpdates {
+	lo, hi := e.OwnedWorkers()
+	for w := lo; w < hi; w++ { // remote workers' slots are stale locally
 		updates += st.roundUpdates[w]
 		newly += st.roundNewly[w]
 	}
+	updates, newly = e.GlobalSum2(updates, newly)
 	st.frontiers, st.nextFront = st.nextFront, st.frontiers
 	return updates > 0, newly
 }
@@ -315,6 +342,12 @@ func (st *growState) finishStage(stage int) int {
 		return local
 	})
 	st.e.Metrics().AddRounds(1)
+	// coveredStage is the one array the growing step reads across
+	// partitions (the frozen-proxy check), and the check only distinguishes
+	// "covered before the current stage" from everything else — so syncing
+	// at stage boundaries is exactly enough to keep every peer's reads
+	// identical to the single-process run.
+	st.e.SyncInt32s(st.coveredStage)
 	return count
 }
 
@@ -335,8 +368,19 @@ func (st *growState) coverSingletons(stage int) int {
 		return local
 	})
 	st.e.Metrics().AddRounds(1)
-	st.e.Metrics().AddUpdates(int64(count))
+	if st.e.Primary() {
+		st.e.Metrics().AddUpdates(int64(count)) // fleet-wide total: meter once
+	}
 	return count
+}
+
+// syncResult makes the result arrays (center assignment and realized path
+// weights) identical on every peer, so each one can materialize the full
+// Clustering locally. Called once per run, before buildClustering; a no-op
+// for single-process engines.
+func (st *growState) syncResult() {
+	st.e.SyncInt32s(st.center)
+	st.e.SyncFloat64s(st.totalD)
 }
 
 // radius returns the maximum cumulative center distance over covered nodes.

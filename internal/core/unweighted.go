@@ -27,9 +27,9 @@ func ClusterUnweighted(ctx context.Context, g *graph.Graph, opts Options) (*Clus
 	e := o.Engine.Bind(ctx)
 	n := g.NumNodes()
 	if n == 0 {
-		return &Clustering{Metrics: e.Metrics().Snapshot()}, nil
+		return &Clustering{Metrics: e.GlobalSnapshot()}, nil
 	}
-	before := e.Metrics().Snapshot()
+	before := e.GlobalSnapshot()
 
 	st := newGrowState(g, e)
 	st.unitGrowth = true
@@ -88,17 +88,18 @@ func ClusterUnweighted(ctx context.Context, g *graph.Graph, opts Options) (*Clus
 			return nil, err
 		}
 		o.Progress.emit("cluster", stage, hopLimit, n-uncovered, n,
-			diff(before, e.Metrics().Snapshot()))
+			diff(before, e.GlobalSnapshot()))
 	}
 	if uncovered > 0 {
 		st.coverSingletons(stage)
 		stage++
 	}
+	st.syncResult()
+	after := e.GlobalSnapshot()
 	if err := e.Err(); err != nil {
 		return nil, err
 	}
 
-	after := e.Metrics().Snapshot()
 	c := buildClustering(st, stage, math.Inf(1), growingSteps, diff(before, after))
 	c.MaxPartialGrowthSteps = maxPGSteps
 	o.Progress.emit("cluster", stage, hopLimit, n, n, c.Metrics)

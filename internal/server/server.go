@@ -35,6 +35,13 @@
 //	PUT    /v2/blobs/{sha}     store a blob (verified before admission)
 //	DELETE /v2/blobs/{sha}     drop a blob's local copy
 //
+//	POST   /v2/bsp/frames      BSP frame delivery (distributed data plane;
+//	                           ?run=&step=&from=, raw body)
+//	POST   /v2/distributed/run  start this daemon's rank of a fleet run
+//	POST   /v2/distributed/jobs coordinate a fleet-wide computation and
+//	                           return the result
+//	GET    /v2/distributed     fleet membership (rank, peer URLs)
+//
 // Dataset routes (see datasets.go) require the daemon's -data-dir; a
 // graph name queried via /v1//v2 compute endpoints that is not resident
 // in memory is faulted in from the catalog transparently, so an ingested
@@ -135,6 +142,10 @@ func New(st *store.Store, cfg Config) *Server {
 	bh := s.blobHandler()
 	s.mux.Handle("/v2/blobs", bh)
 	s.mux.Handle("/v2/blobs/", bh)
+	s.mux.HandleFunc("POST /v2/bsp/frames", s.handleBSPFrame)
+	s.mux.HandleFunc("POST /v2/distributed/run", s.handleDistributedRun)
+	s.mux.HandleFunc("POST /v2/distributed/jobs", s.handleDistributedJob)
+	s.mux.HandleFunc("GET /v2/distributed", s.handleDistributedInfo)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

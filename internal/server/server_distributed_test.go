@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphdiam/internal/gen"
+	"graphdiam/internal/graph"
+	"graphdiam/internal/store"
+)
+
+// newFleet boots n daemons (store + HTTP server each) wired into one
+// distributed fleet over loopback. The graph g, when non-nil, is
+// registered on the daemons whose index is in haveGraph (nil = all) —
+// withholding it from one daemon models a peer that fails its run
+// immediately, the server-layer analogue of mid-run peer death.
+func newFleet(t *testing.T, n int, g *graph.Graph, haveGraph map[int]bool, barrier time.Duration) ([]*store.Store, []*httptest.Server) {
+	t.Helper()
+	dcs := make([]*store.DistributedConfig, n)
+	sts := make([]*store.Store, n)
+	srvs := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		dcs[i] = &store.DistributedConfig{Rank: i, BarrierTimeout: barrier}
+		sts[i] = store.New(store.Config{Distributed: dcs[i]})
+		srvs[i] = httptest.NewServer(New(sts[i], Config{}))
+		urls[i] = srvs[i].URL
+	}
+	for i := 0; i < n; i++ {
+		dcs[i].Peers = urls // rank order = boot order
+	}
+	if g != nil {
+		for i := 0; i < n; i++ {
+			if haveGraph == nil || haveGraph[i] {
+				if _, err := sts[i].AddGraph("g", g, "test"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	t.Cleanup(func() {
+		for i := 0; i < n; i++ {
+			srvs[i].Close()
+			sts[i].Close()
+		}
+	})
+	return sts, srvs
+}
+
+func postDistributedJob(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v2/distributed/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestDistributedJobMatchesSingleNode: a two-daemon fleet run through the
+// public API returns the same decomposition — results and the paper's
+// accounting — as one daemon computing alone with the same worker count.
+func TestDistributedJobMatchesSingleNode(t *testing.T) {
+	g, err := gen.FromSpec("mesh:20", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := store.Params{Tau: 16, Seed: 42, Workers: 8}
+
+	single := store.New(store.Config{})
+	defer single.Close()
+	if _, err := single.AddGraph("g", g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := single.Decompose(t.Context(), "g", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, srvs := newFleet(t, 2, g, nil, 0)
+	resp, body := postDistributedJob(t, srvs[0].URL, map[string]any{
+		"op": "decompose", "graph": "g", "tau": 16, "seed": 42, "workers": 8,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed job: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var got store.DecomposeResult
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics != want.Metrics {
+		t.Errorf("metrics diverged: fleet %+v vs single-node %+v", got.Metrics, want.Metrics)
+	}
+	if got.NumClusters != want.NumClusters || got.Radius != want.Radius ||
+		got.Stages != want.Stages || got.MinCluster != want.MinCluster || got.MaxCluster != want.MaxCluster {
+		t.Errorf("result diverged: fleet %+v vs single-node %+v", got, want)
+	}
+}
+
+// TestDistributedPeerFailureFailsJob: when a peer's participant dies (here:
+// its run fails at once because the graph is missing on that daemon), the
+// coordinator's job must fail with a gateway-classified error — not hang —
+// and shutting the fleet down afterwards must drain every goroutine the
+// aborted run spawned.
+func TestDistributedPeerFailureFailsJob(t *testing.T) {
+	g, err := gen.FromSpec("mesh:12", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	sts, srvs := newFleet(t, 2, g, map[int]bool{0: true}, 300*time.Millisecond)
+	resp, body := postDistributedJob(t, srvs[0].URL, map[string]any{
+		"op": "decompose", "graph": "g", "tau": 16, "seed": 42, "workers": 4,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("peer failure: HTTP %d (want 502/504): %s", resp.StatusCode, body)
+	}
+	// Fleet teardown must join the dead participant's goroutine and the
+	// coordinator's transport helpers (the PR 2 cancel-drain contract).
+	for i := range sts {
+		srvs[i].Close()
+		sts[i].Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain after fleet failure: %d vs baseline %d",
+		runtime.NumGoroutine(), baseline)
+}
+
+// TestDistributedUnconfigured: a daemon outside any fleet answers the
+// control endpoints with 503 (the frames data plane stays mounted and
+// simply buffers-and-expires).
+func TestDistributedUnconfigured(t *testing.T) {
+	st := store.New(store.Config{})
+	defer st.Close()
+	srv := httptest.NewServer(New(st, Config{}))
+	defer srv.Close()
+	resp, body := postDistributedJob(t, srv.URL, map[string]any{"op": "decompose", "graph": "g"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unconfigured daemon: HTTP %d (want 503): %s", resp.StatusCode, body)
+	}
+	r2, err := http.Get(srv.URL + "/v2/distributed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v2/distributed: HTTP %d (want 503)", r2.StatusCode)
+	}
+	// The frames endpoint accepts deliveries regardless (they expire).
+	r3, err := http.Post(srv.URL+"/v2/bsp/frames?run=x&step=0&from=1", "application/octet-stream", bytes.NewReader([]byte("blob")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNoContent {
+		t.Fatalf("frame delivery: HTTP %d (want 204)", r3.StatusCode)
+	}
+}

@@ -26,7 +26,7 @@ func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bs
 	for i := range dist {
 		dist[i] = Inf
 	}
-	before := e.Metrics().Snapshot()
+	before := e.GlobalSnapshot()
 	P := e.Workers()
 
 	mail := bsp.NewMailboxes[relaxReq](P)
@@ -36,17 +36,21 @@ func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bs
 
 	route := e.Router(n)
 	srcOwner := route.Owner(src)
-	dist[src] = 0
-	frontiers[srcOwner] = append(frontiers[srcOwner], int32(src))
+	dist[src] = 0 // replicated: every peer records the same source state
+	if e.OwnsWorker(srcOwner) {
+		frontiers[srcOwner] = append(frontiers[srcOwner], int32(src))
+	}
 
+	ownLo, ownHi := e.OwnedWorkers()
 	for {
 		any := false
-		for w := 0; w < P; w++ {
+		for w := ownLo; w < ownHi; w++ {
 			if len(frontiers[w]) > 0 {
 				any = true
 				break
 			}
 		}
+		any = e.GlobalOr(any)
 		if !any {
 			break
 		}
@@ -67,6 +71,8 @@ func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bs
 				e.Metrics().AddMessages(sent)
 			}
 		})
+		// Ship boxes addressed to remote owners (no-op single-process).
+		bsp.ExchangeMailboxes(e, mail, relaxWire)
 		// Apply half.
 		e.ParallelFor(n, func(w, _, _ int) {
 			var applied int64
@@ -94,7 +100,11 @@ func BellmanFordBSP(ctx context.Context, g *graph.Graph, src graph.NodeID, e *bs
 		}
 	}
 
-	after := e.Metrics().Snapshot()
+	e.SyncFloat64s(dist)
+	after := e.GlobalSnapshot()
+	if err := e.Err(); err != nil {
+		return DeltaResult{}, err
+	}
 	res.Rounds = after.Rounds - before.Rounds
 	res.Relaxations = after.Messages - before.Messages
 	res.Updates = 1 + after.Updates - before.Updates

@@ -2,6 +2,8 @@ package sssp
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"math"
 
 	"graphdiam/internal/bsp"
@@ -136,6 +138,29 @@ var coalesceRelaxations = true
 // improvements, so only strictly smaller candidates are worth sending.
 func lessRelax(a, b relaxReq) bool { return a.dist < b.dist }
 
+// relaxWire serializes relaxReq for cross-process shipping: uvarint node,
+// then the distance as raw little-endian float64 bits (bit-exact).
+var relaxWire = bsp.WireCodec[relaxReq]{
+	MinSize: 1 + 8,
+	Append: func(buf []byte, r relaxReq) []byte {
+		buf = binary.AppendUvarint(buf, uint64(r.node))
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.dist))
+	},
+	Read: func(data []byte) (relaxReq, int, error) {
+		var r relaxReq
+		node, n := binary.Uvarint(data)
+		if n <= 0 || node > math.MaxUint32 {
+			return r, 0, errors.New("bad node field")
+		}
+		if len(data)-n < 8 {
+			return r, 0, errors.New("truncated distance")
+		}
+		r.node = graph.NodeID(node)
+		r.dist = math.Float64frombits(binary.LittleEndian.Uint64(data[n:]))
+		return r, n + 8, nil
+	},
+}
+
 // DeltaStepping runs parallel Δ-stepping from src on the BSP engine. Each
 // worker owns a contiguous node partition with a local bucket structure.
 // A light phase has two halves separated by a barrier: drained nodes relax
@@ -159,7 +184,7 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 	}
 	P := e.Workers()
 	numBuckets := numBucketsFor(g, delta)
-	before := e.Metrics().Snapshot()
+	before := e.GlobalSnapshot()
 
 	// Per-worker local state over its partition.
 	queues := make([]*pq.BucketQueue, P)
@@ -177,8 +202,10 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 	mail.SetPassthrough(!coalesceRelaxations)
 	route := e.Router(n) // O(1) owner lookup, hoisted out of the hot loop
 	srcOwner := route.Owner(src)
-	dist[src] = 0
-	queues[srcOwner].Update(int(src)-starts[srcOwner], 0)
+	dist[src] = 0 // replicated: every peer records the same source state
+	if e.OwnsWorker(srcOwner) {
+		queues[srcOwner].Update(int(src)-starts[srcOwner], 0)
+	}
 
 	// relaxPhase relaxes the light (light=true) or heavy edges of the
 	// per-worker node lists (global IDs), routing requests to owners which
@@ -203,6 +230,9 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 				e.Metrics().AddMessages(sent) // logical relaxations, pre-coalescing
 			}
 		})
+		// Ship boxes addressed to remote owners (no-op single-process);
+		// errors are sticky and surface through the e.Err() checks.
+		bsp.ExchangeCoalescing(e, mail, relaxWire)
 		e.ParallelFor(n, func(w, start, _ int) {
 			var applied int64
 			q := queues[w]
@@ -221,21 +251,24 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 		e.Metrics().AddRounds(1)
 	}
 
+	ownLo, ownHi := e.OwnedWorkers()
 	for {
 		if err := e.Err(); err != nil {
 			return DeltaResult{}, err
 		}
-		// Globally lowest non-empty bucket.
+		// Globally lowest non-empty bucket: fold the owned queues, then
+		// min-combine across peers (-1 means no pending bucket anywhere).
 		b := -1
-		for w := 0; w < P; w++ {
+		for w := ownLo; w < ownHi; w++ {
 			if nb := queues[w].NextBucket(); nb >= 0 && (b < 0 || nb < b) {
 				b = nb
 			}
 		}
+		b = e.GlobalMinNonNeg(b)
 		if b < 0 {
 			break
 		}
-		for w := 0; w < P; w++ {
+		for w := ownLo; w < ownHi; w++ {
 			settled[w] = settled[w][:0]
 		}
 		// Light phases on bucket b until it stays empty everywhere.
@@ -256,12 +289,13 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 				frontiers[w] = f
 			})
 			any := false
-			for w := 0; w < P; w++ {
+			for w := ownLo; w < ownHi; w++ {
 				if len(frontiers[w]) > 0 {
 					any = true
 					break
 				}
 			}
+			any = e.GlobalOr(any)
 			if !any {
 				break
 			}
@@ -272,12 +306,13 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 		}
 		// Heavy phase over the settled sets.
 		anySettled := false
-		for w := 0; w < P; w++ {
+		for w := ownLo; w < ownHi; w++ {
 			if len(settled[w]) > 0 {
 				anySettled = true
 				break
 			}
 		}
+		anySettled = e.GlobalOr(anySettled)
 		if anySettled {
 			relaxPhase(settled, false)
 			e.ParallelFor(n, func(w, start, _ int) {
@@ -287,7 +322,13 @@ func DeltaStepping(ctx context.Context, g *graph.Graph, src graph.NodeID, delta 
 			})
 		}
 	}
-	after := e.Metrics().Snapshot()
+	// Every peer holds exact distances for its owned partition; make the
+	// full array identical everywhere before reporting.
+	e.SyncFloat64s(dist)
+	after := e.GlobalSnapshot()
+	if err := e.Err(); err != nil {
+		return DeltaResult{}, err
+	}
 	res.Rounds = after.Rounds - before.Rounds
 	res.Relaxations = after.Messages - before.Messages
 	res.Updates = 1 + after.Updates - before.Updates // +1 for the source init

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"graphdiam/internal/bsp"
+	"graphdiam/internal/bsp/transport"
 	"graphdiam/internal/dataset"
 	"graphdiam/internal/graph"
 )
@@ -50,6 +51,10 @@ type Config struct {
 	// per-name singleflight before the query proceeds. Nil keeps the
 	// registry memory-only.
 	Catalog *dataset.Catalog
+	// Distributed, when non-nil, makes this daemon one rank of a fixed
+	// fleet: decompositions can be split across the fleet's daemons over
+	// the HTTP BSP transport. Nil keeps the daemon single-node.
+	Distributed *DistributedConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +147,10 @@ type Store struct {
 	cfg Config
 	sem chan struct{} // compute slots
 
+	// bspReg buffers inbound BSP frames for distributed runs; the server
+	// layer delivers /v2/bsp/frames bodies into it.
+	bspReg *transport.Registry
+
 	// baseCtx parents every job's context; Close cancels it, aborting all
 	// running jobs at their next superstep barrier.
 	baseCtx    context.Context
@@ -175,6 +184,7 @@ func New(cfg Config) *Store {
 	return &Store{
 		cfg:        cfg,
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		bspReg:     transport.NewRegistry(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		graphs:     make(map[string]*graphEntry),
