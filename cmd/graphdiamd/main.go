@@ -52,6 +52,18 @@
 // address. -barrier-timeout bounds each superstep's wait for remote
 // frames.
 //
+// -peers also enables the fleet query plane (see internal/fleet): each
+// dataset name has a rendezvous-hash owner among the live daemons, any
+// daemon transparently proxies queries it does not own to the owner, and
+// results are shared through a fleet-wide cache keyed by dataset content
+// address — so identical queries anywhere in the fleet cost one BSP run.
+// -probe-interval tunes the health probes (GET /readyz) that drive
+// failover. -tenant-rate/-tenant-burst add per-tenant admission control
+// on compute requests, keyed by the X-Tenant header: a tenant over its
+// token bucket gets 429 with Retry-After. cmd/graphdiamlb is the
+// matching front door for clients that should not pick a daemon
+// themselves.
+//
 // -preload accepts two value shapes: a generator spec ("usa=road:256",
 // see gen.FromSpec) or "name=file:/path" naming a graph file in any
 // supported format (edgelist, DIMACS, METIS, binary; gzip transparent;
@@ -75,6 +87,7 @@ import (
 	"time"
 
 	"graphdiam/internal/dataset"
+	"graphdiam/internal/fleet"
 	"graphdiam/internal/gen"
 	"graphdiam/internal/server"
 	"graphdiam/internal/store"
@@ -134,15 +147,43 @@ func main() {
 		datasetBudget = flag.String("dataset-budget", "", "catalog disk budget, e.g. 512M or 8G (empty = unlimited)")
 		blobURL       = flag.String("blob-url", "", "base URL of a shared snapshot blob tier, e.g. http://peer:8080 (requires -data-dir)")
 		verifyEvery   = flag.Duration("verify-interval", 0, "background integrity sweep interval, e.g. 30m (0 = disabled; requires -data-dir)")
-		peerList      = flag.String("peers", "", "comma-separated base URLs of every fleet daemon in rank order, self included (enables distributed runs)")
+		peerList      = flag.String("peers", "", "comma-separated base URLs of every fleet daemon in rank order, self included (enables distributed runs and owner routing)")
 		workerID      = flag.Int("worker-id", 0, "this daemon's rank in -peers")
 		barrierTO     = flag.Duration("barrier-timeout", 0, "per-superstep wait for remote BSP frames (0 = default 30s; requires -peers)")
+		probeEvery    = flag.Duration("probe-interval", 0, "fleet health-probe cadence (0 = default 5s; requires -peers)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant admitted jobs/second (0 = admission control disabled)")
+		tenantBurst   = flag.Float64("tenant-burst", 0, "per-tenant job burst capacity (0 = max(1, -tenant-rate); requires -tenant-rate)")
 		pre           preloads
 	)
 	flag.Var(&pre, "preload", "register a graph at boot as name=spec or name=file:/path (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "graphdiamd: ", log.LstdFlags)
+
+	// Fleet boot-flag validation runs before anything opens: a rank
+	// outside -peers or a -blob-url pointing at this daemon's own peer
+	// entry used to surface only at the first query; now it fails boot.
+	var peers []string
+	if *peerList != "" {
+		var err error
+		peers, err = fleet.ValidateDaemonFlags(strings.Split(*peerList, ","), *workerID, *blobURL)
+		if err != nil {
+			logger.Fatalf("bad -peers: %v", err)
+		}
+	} else {
+		if *barrierTO != 0 {
+			logger.Fatalf("-barrier-timeout requires -peers")
+		}
+		if *probeEvery != 0 {
+			logger.Fatalf("-probe-interval requires -peers")
+		}
+	}
+	if *tenantRate < 0 {
+		logger.Fatalf("-tenant-rate must be non-negative")
+	}
+	if *tenantBurst != 0 && *tenantRate == 0 {
+		logger.Fatalf("-tenant-burst requires -tenant-rate")
+	}
 
 	var cat *dataset.Catalog
 	if *dataDir != "" {
@@ -189,35 +230,48 @@ func main() {
 		}
 	}
 
-	var dist *store.DistributedConfig
-	if *peerList != "" {
-		peers := strings.Split(*peerList, ",")
-		for i := range peers {
-			peers[i] = strings.TrimRight(strings.TrimSpace(peers[i]), "/")
-			if peers[i] == "" {
-				logger.Fatalf("bad -peers: empty URL at position %d", i)
-			}
-		}
-		if *workerID < 0 || *workerID >= len(peers) {
-			logger.Fatalf("-worker-id %d out of range for %d peers", *workerID, len(peers))
-		}
+	var (
+		dist   *store.DistributedConfig
+		ftab   *fleet.Table
+		fcache *fleet.Cache
+	)
+	if len(peers) > 0 {
 		dist = &store.DistributedConfig{
 			Rank:           *workerID,
 			Peers:          peers,
 			BarrierTimeout: *barrierTO,
 		}
-		logger.Printf("distributed: rank %d of %d-daemon fleet", *workerID, len(peers))
-	} else if *barrierTO != 0 {
-		logger.Fatalf("-barrier-timeout requires -peers")
+		interval := *probeEvery
+		if interval == 0 {
+			interval = 5 * time.Second
+		}
+		var err error
+		ftab, err = fleet.NewTable(peers, *workerID, fleet.TableOptions{
+			Interval: interval,
+			Log:      logger,
+		})
+		if err != nil {
+			logger.Fatalf("fleet: %v", err)
+		}
+		ftab.Start()
+		defer ftab.Close()
+		fcache = fleet.NewCache(ftab, fleet.CacheOptions{})
+		defer fcache.Close()
+		logger.Printf("fleet query plane: rank %d of %d, probing peers every %v",
+			*workerID, len(peers), interval)
 	}
 
-	st := store.New(store.Config{
+	scfg := store.Config{
 		MaxEntries:    *maxEntries,
 		MaxConcurrent: *maxConcurrent,
 		MaxJobs:       *maxJobs,
 		Catalog:       cat,
 		Distributed:   dist,
-	})
+	}
+	if fcache != nil {
+		scfg.FleetCache = fcache
+	}
+	st := store.New(scfg)
 	defer st.Close()
 	for _, p := range pre {
 		name, spec, ok := strings.Cut(p, "=")
@@ -235,7 +289,16 @@ func main() {
 	if err != nil {
 		logger.Fatalf("bad -max-dataset-body: %v", err)
 	}
-	cfg := server.Config{MaxRequestBytes: *maxBody, MaxDatasetBytes: maxDatasetBytes, Datasets: cat}
+	cfg := server.Config{
+		MaxRequestBytes: *maxBody,
+		MaxDatasetBytes: maxDatasetBytes,
+		Datasets:        cat,
+		Fleet:           ftab,
+	}
+	if *tenantRate > 0 {
+		cfg.Quotas = fleet.NewQuotas(*tenantRate, *tenantBurst)
+		logger.Printf("admission control: %g jobs/s per tenant", *tenantRate)
+	}
 	if !*quiet {
 		cfg.Log = logger
 	}

@@ -1,0 +1,273 @@
+// Command graphdiamlb is the fleet front door: a thin, stateless proxy
+// that gives clients one address for a graphdiam fleet. It routes every
+// request the same way the daemons themselves do — dataset-placed
+// requests to the dataset's rendezvous owner, job requests to the job's
+// home rank, everything else to the first live daemon — so a query lands
+// directly on the node whose cache and singleflight will serve it, and a
+// daemon failure reroutes deterministically at the next health probe.
+//
+// Usage:
+//
+//	graphdiamlb -addr :8000 -peers http://a:8080,http://b:8080,http://c:8080
+//
+// The -peers list must be the same rank-ordered list the daemons were
+// started with; the lb is not itself a member. Placement needs no
+// coordination: lb and daemons compute identical owners from the shared
+// list, and a disagreement (stale health view) costs one extra
+// daemon→daemon hop, never a loop.
+//
+// -tenant-rate/-tenant-burst enforce per-tenant admission control at the
+// edge (X-Tenant header, 429 + Retry-After); forwarded requests carry
+// X-Graphdiam-Edge so daemons do not charge the tenant twice. Every
+// request is stamped with an X-Request-Id (minted here unless the client
+// sent one) that survives all routed hops for log correlation.
+//
+// The lb serves its own /healthz (process liveness), /readyz (ready when
+// at least one daemon is live), and /v2/fleet (its current placement
+// view); every other path is proxied.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphdiam/internal/fleet"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8000", "listen address")
+		peerList     = flag.String("peers", "", "comma-separated base URLs of every fleet daemon in rank order (required)")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "daemon health-probe cadence")
+		maxBody      = flag.Int64("max-body", 64<<20, "max request body bytes")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant admitted jobs/second (0 = admission control disabled)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant job burst capacity (0 = max(1, -tenant-rate); requires -tenant-rate)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		readHeaderTO = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		quiet        = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "graphdiamlb: ", log.LstdFlags)
+	if *peerList == "" {
+		logger.Fatalf("-peers is required")
+	}
+	if *tenantRate < 0 {
+		logger.Fatalf("-tenant-rate must be non-negative")
+	}
+	if *tenantBurst != 0 && *tenantRate == 0 {
+		logger.Fatalf("-tenant-burst requires -tenant-rate")
+	}
+	if *probeEvery <= 0 {
+		logger.Fatalf("-probe-interval must be positive")
+	}
+
+	table, err := fleet.NewTable(strings.Split(*peerList, ","), -1, fleet.TableOptions{
+		Interval: *probeEvery,
+		Log:      logger,
+	})
+	if err != nil {
+		logger.Fatalf("bad -peers: %v", err)
+	}
+	table.Start()
+	defer table.Close()
+
+	lb := &frontDoor{
+		table:   table,
+		proxy:   &fleet.Proxy{SelfRank: -1, ErrorLog: logger},
+		maxBody: *maxBody,
+	}
+	if *tenantRate > 0 {
+		lb.quotas = fleet.NewQuotas(*tenantRate, *tenantBurst)
+		logger.Printf("admission control: %g jobs/s per tenant", *tenantRate)
+	}
+	if !*quiet {
+		lb.log = logger
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           lb,
+		ReadHeaderTimeout: *readHeaderTO,
+		IdleTimeout:       *idleTO,
+		// No WriteTimeout: proxied SSE job streams live as long as the job.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("front door on %s for %d-daemon fleet", *addr, len(table.Members()))
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}
+
+// frontDoor is the lb's handler: admission control, then placement, then
+// a reverse-proxied forward.
+type frontDoor struct {
+	table   *fleet.Table
+	proxy   *fleet.Proxy
+	quotas  *fleet.Quotas
+	log     *log.Logger
+	maxBody int64
+}
+
+func (f *frontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get(fleet.RequestIDHeader)
+	if rid == "" {
+		rid = fleet.NewRequestID()
+		r.Header.Set(fleet.RequestIDHeader, rid)
+	}
+	w.Header().Set(fleet.RequestIDHeader, rid)
+	if f.log != nil {
+		f.log.Printf("%s %s rid=%s", r.Method, r.URL.Path, rid)
+	}
+
+	// The lb's own endpoints: liveness, readiness, placement view.
+	switch r.URL.Path {
+	case "/healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	case "/readyz":
+		f.serveReadyz(w)
+		return
+	case "/v2/fleet":
+		f.serveFleet(w, r)
+		return
+	}
+
+	if !f.admit(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, f.maxBody)
+
+	target, ok := f.place(w, r)
+	if !ok {
+		return // place already wrote the error
+	}
+	f.proxy.Forward(w, r, target)
+}
+
+// place picks the daemon this request should land on, mirroring the
+// daemons' own routing rules so the first hop is usually the last.
+func (f *frontDoor) place(w http.ResponseWriter, r *http.Request) (fleet.Member, bool) {
+	d := fleet.Classify(r.Method, r.URL.Path)
+	switch d.Class {
+	case fleet.RouteDataset:
+		name := d.Dataset
+		if name == "" && d.BodyField != "" {
+			var err error
+			name, err = fleet.PeekBodyField(r, d.BodyField)
+			if err != nil {
+				fleet.WriteJSONError(w, http.StatusBadRequest, err)
+				return fleet.Member{}, false
+			}
+		}
+		if name != "" {
+			if owner, ok := f.table.Owner(name); ok {
+				return owner, true
+			}
+		}
+	case fleet.RouteJob:
+		if rank, ok := fleet.JobHomeRank(d.JobID); ok {
+			members := f.table.Members()
+			if rank < len(members) && f.table.Live(rank) {
+				return members[rank], true
+			}
+		}
+	}
+	// RouteAny, RouteLocal, an unplaceable dataset (the daemon's handler
+	// answers the 400/404), or a dead job home: first live daemon.
+	if m, ok := f.table.FirstLive(); ok {
+		return m, true
+	}
+	fleet.WriteJSONError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("no live fleet member (probes against %d daemons all failing)", len(f.table.Members())))
+	return fleet.Member{}, false
+}
+
+func (f *frontDoor) admit(w http.ResponseWriter, r *http.Request) bool {
+	if f.quotas == nil || !fleet.CostsJob(r.Method, r.URL.Path) {
+		return true
+	}
+	tenant := r.Header.Get(fleet.TenantHeader)
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	ok, retry := f.quotas.Allow(tenant)
+	if ok {
+		return true
+	}
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	fleet.WriteJSONError(w, http.StatusTooManyRequests,
+		fmt.Errorf("tenant %q is over its admission rate; retry after %ds", tenant, secs))
+	return false
+}
+
+func (f *frontDoor) serveReadyz(w http.ResponseWriter) {
+	live := f.table.LiveCount()
+	status, state := http.StatusOK, "ready"
+	if live == 0 {
+		status, state = http.StatusServiceUnavailable, "unready"
+	}
+	writeJSON(w, status, map[string]any{
+		"status": state,
+		"live":   live,
+		"fleet":  f.table.Snapshot(),
+	})
+}
+
+func (f *frontDoor) serveFleet(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"self":    -1,
+		"members": f.table.Snapshot(),
+	}
+	if ds := r.URL.Query().Get("dataset"); ds != "" {
+		resp["dataset"] = ds
+		resp["preference"] = f.table.Preference(ds)
+		if owner, ok := f.table.Owner(ds); ok {
+			resp["owner"] = owner
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

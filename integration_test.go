@@ -24,7 +24,6 @@ import (
 	"graphdiam/internal/validate"
 )
 
-
 // mustDiam adapts the cancellable API for pipeline tests; a background
 // context cannot produce an error.
 func mustDiam(t testing.TB, g *graph.Graph, o core.DiamOptions) core.DiamResult {

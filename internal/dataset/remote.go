@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,6 +75,27 @@ func NewRemoteStore(baseURL, cacheDir string, client *http.Client) (*RemoteStore
 }
 
 func (s *RemoteStore) blobURL(sha string) string { return s.base + "/v2/blobs/" + sha }
+
+// Ping probes the shared tier's blob index endpoint, classifying
+// network-level failures as ErrBackendUnavailable. The daemon's
+// readiness probe uses it to report "blob tier reachable" truthfully
+// instead of inspecting only the local read-through cache.
+func (s *RemoteStore) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v2/blobs", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return transportErr("ping", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("dataset: blob tier ping: %s", resp.Status)
+	}
+	return nil
+}
 
 func (s *RemoteStore) cachePath(sha string) string {
 	return filepath.Join(s.cacheDir, sha+snapExt)

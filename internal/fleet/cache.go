@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Cache is the client side of the fleet-wide result cache: before a node
+// runs a BSP computation for a dataset-backed query it probes its peers'
+// GET /v2/cache/{key} endpoints (a cache key is dataset SHA-256 plus the
+// canonical query parameters, so content addressing makes cross-node
+// reuse exact); after computing it pushes the result to the key's
+// rendezvous owner with PUT, so deterministic routing finds it there no
+// matter which node did the work. Both sides are best-effort: a probe
+// miss or a failed push costs one recomputation, never correctness.
+//
+// Cache implements store.FleetCache.
+type Cache struct {
+	t *Table
+
+	// client performs probe/push requests.
+	client *http.Client
+	// timeout bounds one probe or push.
+	timeout time.Duration
+	// maxProbes caps how many peers one Get consults.
+	maxProbes int
+	// maxBody caps an accepted cached-result body.
+	maxBody int64
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// CacheOptions tunes a Cache. Zero values select the defaults.
+type CacheOptions struct {
+	// Client performs probe and push requests; nil selects a dedicated
+	// client (probes must not ride a client with unbounded timeouts).
+	Client *http.Client
+	// Timeout bounds one probe or push. Default 3s.
+	Timeout time.Duration
+	// MaxProbes caps the peers consulted per Get, in preference order.
+	// Default 3.
+	MaxProbes int
+	// MaxBody caps the size of an accepted cached result. Default 8 MiB.
+	MaxBody int64
+}
+
+// NewCache builds the fleet cache client over a membership table.
+func NewCache(t *Table, opts CacheOptions) *Cache {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 3 * time.Second
+	}
+	if opts.MaxProbes <= 0 {
+		opts.MaxProbes = 3
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 8 << 20
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.Timeout}
+	}
+	return &Cache{
+		t:         t,
+		client:    opts.Client,
+		timeout:   opts.Timeout,
+		maxProbes: opts.MaxProbes,
+		maxBody:   opts.MaxBody,
+	}
+}
+
+// cacheURL renders the /v2/cache URL for key on a member. The key holds
+// '|' and '=' from the canonical parameter string, so it travels
+// path-escaped.
+func cacheURL(base, key string) string {
+	return base + "/v2/cache/" + url.PathEscape(key)
+}
+
+// Get probes live peers for key in rendezvous-preference order (the
+// owner first — deterministic routing makes it the most likely holder),
+// capped at MaxProbes, and returns the first cached result found. Self
+// is skipped: the caller already missed its local cache.
+func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool) {
+	probed := 0
+	for _, m := range c.t.Preference(key) {
+		if probed >= c.maxProbes {
+			break
+		}
+		if m.Rank == c.t.Self() || !c.t.Live(m.Rank) {
+			continue
+		}
+		probed++
+		if b, ok := c.probe(ctx, m.URL, key); ok {
+			return b, true
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+func (c *Cache) probe(ctx context.Context, base, key string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cacheURL(base, key), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, c.maxBody+1))
+	if err != nil || int64(len(b)) > c.maxBody || len(b) == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put pushes a freshly computed result to the key's rendezvous owner in
+// the background (fire-and-forget with a bounded timeout). When this
+// node is the owner — the common case under deterministic routing — the
+// result already sits in the local LRU and no push happens.
+func (c *Cache) Put(key string, body []byte) {
+	owner, ok := c.t.Owner(key)
+	if !ok || owner.Rank == c.t.Self() {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, cacheURL(owner.URL, key), bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+	}()
+}
+
+// Close waits for in-flight background pushes; new pushes are dropped.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -1,0 +1,371 @@
+// Package fleet is the query plane of a graphdiam fleet: deterministic
+// dataset→owner placement over a health-checked member list, the client
+// side of the fleet-wide result cache, per-tenant admission control, and
+// the request-classification rules the owner-routing proxies (in
+// internal/server and cmd/graphdiamlb) share.
+//
+// Placement is rendezvous (highest-random-weight) hashing: every node
+// scores each (member URL, key) pair with the same hash function and the
+// key's owner is the live member with the highest score. All nodes are
+// configured with the identical rank-ordered -peers list, so they agree
+// on ownership without any coordination, and when the owner dies the key
+// deterministically fails over to the next-ranked live member — exactly
+// the "first live node in score order" every other node also computes.
+// Content addressing (PR 4) makes this safe: any node can adopt any
+// dataset from the shared blob tier and serve bit-identical answers, so
+// a stale health view misroutes a query at worst to a correct-but-cold
+// node, never to a wrong answer.
+package fleet
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Member is one node of the fleet.
+type Member struct {
+	// Rank is the member's index in the shared -peers list.
+	Rank int `json:"rank"`
+	// URL is the member's base URL (no trailing slash).
+	URL string `json:"url"`
+}
+
+// MemberStatus is a Member plus its last observed health, for /readyz
+// and /v2/fleet payloads.
+type MemberStatus struct {
+	Member
+	// Live reports the last health probe's outcome (self is always live).
+	Live bool `json:"live"`
+	// Self marks the reporting node's own row.
+	Self bool `json:"self,omitempty"`
+}
+
+// TableOptions tunes a Table. Zero values select the defaults.
+type TableOptions struct {
+	// Interval is the background health-probe cadence; 0 disables the
+	// background prober (callers drive ProbeOnce themselves — tests, or
+	// single-shot tools).
+	Interval time.Duration
+	// ProbeTimeout bounds one member's health probe. Default 2s.
+	ProbeTimeout time.Duration
+	// Client performs health probes; nil selects http.DefaultClient.
+	Client *http.Client
+	// Log receives membership transitions; nil disables logging.
+	Log *log.Logger
+}
+
+// Table is the fleet membership view of one node: the shared rank-ordered
+// member list, each member's last observed health, and the placement
+// function. All methods are safe for concurrent use.
+type Table struct {
+	members []Member
+	self    int // index into members, or -1 for a node outside the fleet (the lb)
+	opts    TableOptions
+
+	alive []atomic.Bool
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+}
+
+// NewTable builds a membership table over the shared peer list. self is
+// this node's rank in urls, or -1 for a front door that is not itself a
+// member (cmd/graphdiamlb). Until the first probe, every member except
+// self is considered down — run ProbeOnce (or Start the background
+// prober) before routing.
+func NewTable(urls []string, self int, opts TableOptions) (*Table, error) {
+	norm, err := NormalizePeers(urls)
+	if err != nil {
+		return nil, err
+	}
+	if self < -1 || self >= len(norm) {
+		return nil, fmt.Errorf("fleet: self rank %d out of range for %d members", self, len(norm))
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	t := &Table{
+		members: make([]Member, len(norm)),
+		self:    self,
+		opts:    opts,
+		alive:   make([]atomic.Bool, len(norm)),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	for i, u := range norm {
+		t.members[i] = Member{Rank: i, URL: u}
+	}
+	if self >= 0 {
+		t.alive[self].Store(true)
+	}
+	return t, nil
+}
+
+// NormalizePeers canonicalizes a -peers list: whitespace trimmed, one
+// trailing slash stripped, every entry a non-empty absolute http(s) URL,
+// no duplicates. Every fleet node must normalize identically or placement
+// diverges, which is why this lives here and not in flag parsing.
+func NormalizePeers(urls []string) ([]string, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fleet: member list is empty")
+	}
+	out := make([]string, len(urls))
+	seen := make(map[string]int, len(urls))
+	for i, raw := range urls {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, fmt.Errorf("fleet: empty member URL at rank %d", i)
+		}
+		parsed, err := url.Parse(u)
+		if err != nil || (parsed.Scheme != "http" && parsed.Scheme != "https") || parsed.Host == "" {
+			return nil, fmt.Errorf("fleet: member %d URL %q is not an absolute http(s) URL", i, raw)
+		}
+		if prev, dup := seen[u]; dup {
+			return nil, fmt.Errorf("fleet: member URL %q appears at both rank %d and rank %d", u, prev, i)
+		}
+		seen[u] = i
+		out[i] = u
+	}
+	return out, nil
+}
+
+// ValidateDaemonFlags checks the fleet-facing boot flags of one daemon
+// for the inconsistencies that previously surfaced only at first query:
+// a -worker-id outside the -peers range, and a -blob-url naming the
+// daemon's own peer entry (a node cannot adopt snapshots from itself —
+// the first remote fetch would recurse into the very handler waiting on
+// it). Returns the normalized peer list.
+func ValidateDaemonFlags(peers []string, workerID int, blobURL string) ([]string, error) {
+	norm, err := NormalizePeers(peers)
+	if err != nil {
+		return nil, err
+	}
+	if workerID < 0 || workerID >= len(norm) {
+		return nil, fmt.Errorf("fleet: -worker-id %d out of range for %d peers (want 0..%d)",
+			workerID, len(norm), len(norm)-1)
+	}
+	if blobURL != "" {
+		b := strings.TrimRight(strings.TrimSpace(blobURL), "/")
+		if b == norm[workerID] {
+			return nil, fmt.Errorf("fleet: -blob-url %s is this daemon's own -peers entry (rank %d): a daemon cannot adopt snapshots from itself — point -blob-url at a peer or omit it on the hub",
+				blobURL, workerID)
+		}
+	}
+	return norm, nil
+}
+
+// Self returns this node's rank, or -1 outside the fleet.
+func (t *Table) Self() int { return t.self }
+
+// Members returns the rank-ordered member list.
+func (t *Table) Members() []Member { return append([]Member(nil), t.members...) }
+
+// Live reports the last observed health of the member with the given
+// rank. Self is always live.
+func (t *Table) Live(rank int) bool {
+	return rank >= 0 && rank < len(t.alive) && t.alive[rank].Load()
+}
+
+// SetLive overrides one member's health (tests, and the prober).
+func (t *Table) SetLive(rank int, live bool) {
+	if rank < 0 || rank >= len(t.alive) || (rank == t.self && !live) {
+		return // self never goes dead in its own view
+	}
+	was := t.alive[rank].Swap(live)
+	if was != live && t.opts.Log != nil {
+		state := "down"
+		if live {
+			state = "up"
+		}
+		t.opts.Log.Printf("fleet: member %d (%s) is %s", rank, t.members[rank].URL, state)
+	}
+}
+
+// Snapshot reports every member with its last observed health.
+func (t *Table) Snapshot() []MemberStatus {
+	out := make([]MemberStatus, len(t.members))
+	for i, m := range t.members {
+		out[i] = MemberStatus{Member: m, Live: t.alive[i].Load(), Self: i == t.self}
+	}
+	return out
+}
+
+// LiveCount counts members currently observed live.
+func (t *Table) LiveCount() int {
+	n := 0
+	for i := range t.alive {
+		if t.alive[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// score is the rendezvous weight of (member, key): FNV-1a over the
+// member's canonical URL, a separator that cannot appear in a URL, and
+// the key, passed through a 64-bit avalanche finalizer. The finalizer
+// matters: raw FNV-1a keeps enough ordering correlation between
+// near-identical member URLs that one member can win every key — the
+// mix makes per-member scores behave independently. Every node computes
+// the same number, so ownership needs no coordination.
+func score(memberURL, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(memberURL))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijection whose output bits
+// each depend on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Preference returns every member in descending rendezvous-score order
+// for key — the deterministic failover chain. Ties (only possible with
+// colliding hashes) break toward the lower rank, keeping the order total.
+func (t *Table) Preference(key string) []Member {
+	type scored struct {
+		m Member
+		s uint64
+	}
+	sc := make([]scored, len(t.members))
+	for i, m := range t.members {
+		sc[i] = scored{m: m, s: score(m.URL, key)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].s != sc[j].s {
+			return sc[i].s > sc[j].s
+		}
+		return sc[i].m.Rank < sc[j].m.Rank
+	})
+	out := make([]Member, len(sc))
+	for i, s := range sc {
+		out[i] = s.m
+	}
+	return out
+}
+
+// Owner returns the key's current owner: the first live member in
+// preference order. ok is false when no member is live (only possible on
+// a node outside the fleet — a member always counts itself live).
+func (t *Table) Owner(key string) (Member, bool) {
+	for _, m := range t.Preference(key) {
+		if t.alive[m.Rank].Load() {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// FirstLive returns the lowest-ranked live member — the front door's
+// target for requests that have no dataset to place.
+func (t *Table) FirstLive() (Member, bool) {
+	for i, m := range t.members {
+		if t.alive[i].Load() {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// ProbeOnce health-checks every member (except self) once, in parallel,
+// against GET /readyz. A member is live iff it answers 2xx within the
+// probe timeout.
+func (t *Table) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range t.members {
+		if i == t.self {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t.SetLive(i, t.probe(ctx, t.members[i].URL))
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (t *Table) probe(ctx context.Context, baseURL string) bool {
+	ctx, cancel := context.WithTimeout(ctx, t.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := t.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Start launches the background prober at the configured interval (no-op
+// when Interval is 0). The first sweep runs immediately so a freshly
+// booted node converges before its first routed request.
+func (t *Table) Start() {
+	if t.opts.Interval <= 0 || !t.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(t.stopped)
+		ctx := context.Background()
+		t.ProbeOnce(ctx)
+		tick := time.NewTicker(t.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.ProbeOnce(ctx)
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the background prober (if running) and waits for it to
+// exit. Safe regardless of whether Start was called.
+func (t *Table) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	if t.started.Load() {
+		<-t.stopped
+	}
+}
+
+// NewRequestID mints an edge request ID: 16 hex characters of
+// crypto/rand entropy, compact enough for log lines and unique enough to
+// trace one query across every routed hop.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not a reason to drop a request; a
+		// constant marker still distinguishes "no id" from "id lost".
+		return "00000000ffffffff"
+	}
+	return hex.EncodeToString(b[:])
+}

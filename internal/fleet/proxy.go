@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+)
+
+// Proxy forwards requests to fleet members, preserving bodies, streaming
+// responses (SSE job events flush immediately — httputil.ReverseProxy
+// switches to immediate flushing for text/event-stream), and
+// cancel-on-disconnect (the outbound request rides the inbound context,
+// so a client hanging up mid-proxy cancels the job on the owner exactly
+// as a direct disconnect would).
+type Proxy struct {
+	// Transport performs the forwarded requests; nil selects
+	// http.DefaultTransport. It must NOT have a global timeout — SSE
+	// streams live as long as the job runs.
+	Transport http.RoundTripper
+	// SelfRank stamps RoutedHeader on daemon→daemon hops; -1 (the front
+	// door) stamps EdgeHeader instead and leaves re-routing to the
+	// receiving daemon.
+	SelfRank int
+	// ErrorLog receives forwarding failures; nil disables logging.
+	ErrorLog interface{ Printf(string, ...any) }
+}
+
+// Forward sends the request to the member and relays the response.
+func (p *Proxy) Forward(w http.ResponseWriter, r *http.Request, target Member) {
+	u, err := url.Parse(target.URL)
+	if err != nil {
+		WriteJSONError(w, http.StatusBadGateway, fmt.Errorf("fleet: bad member URL %q: %v", target.URL, err))
+		return
+	}
+	rp := &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(u)
+			pr.Out.Host = u.Host
+			if p.SelfRank >= 0 {
+				pr.Out.Header.Set(RoutedHeader, fmt.Sprintf("%d", p.SelfRank))
+			} else {
+				pr.Out.Header.Set(EdgeHeader, "lb")
+			}
+		},
+		Transport: p.Transport,
+		ModifyResponse: func(resp *http.Response) error {
+			// The hop that received the request already echoed the request
+			// ID; dropping the backend's copy keeps the header single-valued
+			// across any number of routed hops.
+			resp.Header.Del(RequestIDHeader)
+			return nil
+		},
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			if p.ErrorLog != nil {
+				p.ErrorLog.Printf("fleet: proxy to %s failed: %v", target.URL, err)
+			}
+			WriteJSONError(w, http.StatusBadGateway,
+				fmt.Errorf("fleet: member %d (%s) unreachable: %v", target.Rank, target.URL, err))
+		},
+	}
+	rp.ServeHTTP(w, r)
+}
+
+// WriteJSONError renders an error in the API's {"error": "..."} shape.
+func WriteJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]string{"error": err.Error()})
+}

@@ -13,7 +13,7 @@ func TestFromSpecFamilies(t *testing.T) {
 		{"mesh:8", 64},
 		{"torus:8", 64},
 		{"rmat:8", 256},
-		{"road:16", 0}, // largest component of a jittered lattice
+		{"road:16", 0},   // largest component of a jittered lattice
 		{"roads:2:8", 0}, // road base is trimmed to its largest component
 		{"gnm:100:300", 100},
 		{"ba:100:3", 100},
@@ -53,27 +53,27 @@ func TestFromSpecDeterministic(t *testing.T) {
 // return errors — the generator panics must be unreachable through it.
 func TestFromSpecRejectsBadInput(t *testing.T) {
 	bad := []string{
-		"",              // unknown family
-		"frob:9",        // unknown family
-		"mesh",          // missing param
-		"mesh:abc",      // non-numeric
-		"mesh:0",        // below range
-		"mesh:100000",   // would allocate 10^10 nodes
-		"rmat:30",       // oversized
-		"road:1",        // generator requires side >= 2
+		"",                // unknown family
+		"frob:9",          // unknown family
+		"mesh",            // missing param
+		"mesh:abc",        // non-numeric
+		"mesh:0",          // below range
+		"mesh:100000",     // would allocate 10^10 nodes
+		"rmat:30",         // oversized
+		"road:1",          // generator requires side >= 2
 		"roads:4096:4096", // product over node cap
-		"gnm:0:5",       // rng.Intn(0) panic without validation
-		"gnm:10:-1",     // negative m
-		"ba:10:10",      // needs m < n
-		"ba:1:1",        // needs n >= 2
-		"ws:10:3:0.1",   // odd k
-		"ws:10:10:0.1",  // k >= n
-		"ws:10:4:1.5",   // beta out of [0,1]
-		"ws:10:4:x",     // non-numeric beta
-		"ws:10:4",       // missing beta
-		"path:-2",       // makeslice panic without validation
+		"gnm:0:5",         // rng.Intn(0) panic without validation
+		"gnm:10:-1",       // negative m
+		"ba:10:10",        // needs m < n
+		"ba:1:1",          // needs n >= 2
+		"ws:10:3:0.1",     // odd k
+		"ws:10:10:0.1",    // k >= n
+		"ws:10:4:1.5",     // beta out of [0,1]
+		"ws:10:4:x",       // non-numeric beta
+		"ws:10:4",         // missing beta
+		"path:-2",         // makeslice panic without validation
 		"path:0",
-		"hypercube:40",  // 2^40 nodes
+		"hypercube:40", // 2^40 nodes
 	}
 	for _, spec := range bad {
 		g, err := FromSpec(spec, 1)

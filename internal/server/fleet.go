@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"graphdiam/internal/fleet"
+)
+
+// The fleet-facing half of the serving tier: owner routing, the fleet
+// cache peer endpoints, the liveness/readiness split, request-ID
+// propagation, and per-tenant admission control. Everything here is
+// inert unless Config.Fleet (routing) or Config.Quotas (admission) is
+// set, so a standalone daemon's request path is unchanged.
+
+// requestID ensures the request carries an X-Request-Id — minting one at
+// the first hop, preserving the inbound value on routed hops — and
+// echoes it on the response so clients can quote it. Returns the ID for
+// the request log.
+func (s *Server) requestID(w http.ResponseWriter, r *http.Request) string {
+	rid := r.Header.Get(fleet.RequestIDHeader)
+	if rid == "" {
+		rid = fleet.NewRequestID()
+		r.Header.Set(fleet.RequestIDHeader, rid)
+	}
+	w.Header().Set(fleet.RequestIDHeader, rid)
+	return rid
+}
+
+// admit applies per-tenant admission control to compute-cost requests.
+// Requests forwarded by the front door (EdgeHeader) were already charged
+// at the edge and pass freely — double-charging a routed request would
+// halve every tenant's effective rate. Returns false after writing the
+// 429.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Quotas == nil || !fleet.CostsJob(r.Method, r.URL.Path) {
+		return true
+	}
+	if r.Header.Get(fleet.EdgeHeader) != "" || r.Header.Get(fleet.RoutedHeader) != "" {
+		return true
+	}
+	tenant := r.Header.Get(fleet.TenantHeader)
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	ok, retry := s.cfg.Quotas.Allow(tenant)
+	if ok {
+		return true
+	}
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("tenant %q is over its admission rate; retry after %ds", tenant, secs))
+	return false
+}
+
+// routeAway forwards the request to the fleet member that owns it and
+// reports whether it did (or wrote an error). A request that already
+// crossed a daemon→daemon hop (RoutedHeader) is always served locally:
+// the sender computed ownership from the same shared member list, so a
+// second hop could only mean divergent health views — one extra hop is
+// the bounded cost of a stale view, a loop is not.
+func (s *Server) routeAway(w http.ResponseWriter, r *http.Request) bool {
+	if s.proxy == nil || r.Header.Get(fleet.RoutedHeader) != "" {
+		return false
+	}
+	t := s.cfg.Fleet
+	d := fleet.Classify(r.Method, r.URL.Path)
+	switch d.Class {
+	case fleet.RouteJob:
+		rank, ok := fleet.JobHomeRank(d.JobID)
+		if !ok || rank == t.Self() || rank >= len(t.Members()) || !t.Live(rank) {
+			// Pre-fleet ID, our own job, or an unreachable home: serve
+			// locally (an absent job 404s exactly as it would at home).
+			return false
+		}
+		s.proxy.Forward(w, r, t.Members()[rank])
+		return true
+	case fleet.RouteDataset:
+		name := d.Dataset
+		if name == "" && d.BodyField != "" {
+			var err error
+			name, err = fleet.PeekBodyField(r, d.BodyField)
+			if err != nil {
+				fleet.WriteJSONError(w, http.StatusBadRequest, err)
+				return true
+			}
+		}
+		if name == "" {
+			return false // the handler will produce its usual 400/404
+		}
+		owner, ok := t.Owner(name)
+		if !ok || owner.Rank == t.Self() {
+			return false
+		}
+		s.proxy.Forward(w, r, owner)
+		return true
+	default: // RouteLocal, RouteAny
+		return false
+	}
+}
+
+// handleFleetCacheGet serves a peer's fleet-cache probe from the local
+// LRU (raw bytes, no re-encoding — byte identity across nodes is what
+// makes the cache transparent).
+func (s *Server) handleFleetCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, ok := s.st.FleetCacheGet(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet cache miss"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleFleetCachePut accepts a peer's pushed result.
+func (s *Server) handleFleetCachePut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read cache body: %w", err))
+		return
+	}
+	if err := s.st.FleetCachePut(r.PathValue("key"), body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ReadyCheck is one readiness probe's outcome.
+type ReadyCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ReadyResponse is the GET /readyz payload.
+type ReadyResponse struct {
+	Status string       `json:"status"` // "ready" | "unready"
+	Checks []ReadyCheck `json:"checks"`
+	// Fleet is informational: readiness never depends on peers (two nodes
+	// each waiting for the other to become ready would deadlock a rolling
+	// restart), but operators and the front door want the view.
+	Fleet []fleet.MemberStatus `json:"fleet,omitempty"`
+}
+
+// blobPinger is the optional deep-reachability probe a blob backend may
+// implement (RemoteStore does); backends without it are checked by
+// enumerating their local state.
+type blobPinger interface {
+	Ping(ctx context.Context) error
+}
+
+// handleReadyz is the readiness probe: 200 only when this node can
+// actually serve (catalog directory present, blob tier answering).
+// /healthz stays pure liveness — the process is up — so an unready node
+// is routed around, not restarted.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Status: "ready"}
+	if cat := s.cfg.Datasets; cat != nil {
+		check := ReadyCheck{Name: "catalog", OK: true}
+		if _, err := os.Stat(cat.Dir()); err != nil {
+			check.OK, check.Detail = false, err.Error()
+		}
+		resp.Checks = append(resp.Checks, check)
+
+		check = ReadyCheck{Name: "blobs", OK: true}
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		if p, ok := cat.Blobs().(blobPinger); ok {
+			if err := p.Ping(ctx); err != nil {
+				check.OK, check.Detail = false, err.Error()
+			}
+		} else if _, err := cat.Blobs().List(); err != nil {
+			check.OK, check.Detail = false, err.Error()
+		}
+		cancel()
+		resp.Checks = append(resp.Checks, check)
+	}
+	if t := s.cfg.Fleet; t != nil {
+		resp.Fleet = t.Snapshot()
+	}
+	status := http.StatusOK
+	for _, c := range resp.Checks {
+		if !c.OK {
+			resp.Status = "unready"
+			status = http.StatusServiceUnavailable
+			break
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// FleetInfoResponse is the GET /v2/fleet payload: membership, and —
+// with ?dataset=<name> — where that dataset's queries land.
+type FleetInfoResponse struct {
+	Self    int                  `json:"self"`
+	Members []fleet.MemberStatus `json:"members"`
+	Dataset string               `json:"dataset,omitempty"`
+	// Owner is the dataset's current owner under this node's health view.
+	Owner *fleet.Member `json:"owner,omitempty"`
+	// Preference is the dataset's full failover chain, live or not.
+	Preference []fleet.Member `json:"preference,omitempty"`
+}
+
+func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
+	t := s.cfg.Fleet
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet mode is not enabled (start with -peers)"))
+		return
+	}
+	resp := FleetInfoResponse{Self: t.Self(), Members: t.Snapshot()}
+	if ds := r.URL.Query().Get("dataset"); ds != "" {
+		resp.Dataset = ds
+		resp.Preference = t.Preference(ds)
+		if owner, ok := t.Owner(ds); ok {
+			resp.Owner = &owner
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

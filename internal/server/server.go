@@ -14,7 +14,9 @@
 //	POST   /v1/diameter        run/fetch a CL-DIAM diameter approximation
 //	GET    /v1/stats           store counters, cache state, job counts,
 //	                           BSP cost totals
-//	GET    /healthz            liveness probe
+//	GET    /healthz            liveness probe (the process is up)
+//	GET    /readyz             readiness probe (catalog present, blob
+//	                           tier reachable; fleet view attached)
 //
 //	POST   /v2/jobs            submit an asynchronous computation
 //	                           ({"op":"decompose"|"diameter","graph",...params})
@@ -41,6 +43,18 @@
 //	POST   /v2/distributed/jobs coordinate a fleet-wide computation and
 //	                           return the result
 //	GET    /v2/distributed     fleet membership (rank, peer URLs)
+//
+//	GET    /v2/cache/{key}     fleet result-cache probe (peer-to-peer)
+//	PUT    /v2/cache/{key}     fleet result-cache push (peer-to-peer)
+//	GET    /v2/fleet           query-plane membership + health; with
+//	                           ?dataset=<name>, that dataset's owner and
+//	                           failover chain
+//
+// When Config.Fleet is set the server also owner-routes: a request
+// placed by dataset name (or by a job ID's home rank) whose rendezvous
+// owner is another live member is transparently proxied there, with
+// byte-identical responses, SSE streaming, and cancel-on-disconnect
+// preserved. See internal/fleet for the placement rules.
 //
 // Dataset routes (see datasets.go) require the daemon's -data-dir; a
 // graph name queried via /v1//v2 compute endpoints that is not resident
@@ -80,6 +94,7 @@ import (
 	"strings"
 
 	"graphdiam/internal/dataset"
+	"graphdiam/internal/fleet"
 	"graphdiam/internal/gen"
 	"graphdiam/internal/gio"
 	"graphdiam/internal/graph"
@@ -103,6 +118,19 @@ type Config struct {
 	// It should be the same catalog the store was configured with so
 	// ingested datasets are lazily loadable by queries.
 	Datasets *dataset.Catalog
+	// Fleet, when non-nil, enables owner routing: dataset-placed requests
+	// whose rendezvous owner is another live member are transparently
+	// forwarded there, and /v2/fleet reports placement. The table should
+	// be the daemon's own rank in the shared -peers list.
+	Fleet *fleet.Table
+	// FleetTransport performs forwarded requests; nil selects
+	// http.DefaultTransport. It must not impose a global timeout (SSE
+	// streams live as long as their job).
+	FleetTransport http.RoundTripper
+	// Quotas, when non-nil, enables per-tenant admission control on
+	// compute-cost requests (429 + Retry-After when a tenant's token
+	// bucket empties).
+	Quotas *fleet.Quotas
 }
 
 func (c Config) withDefaults() Config {
@@ -114,14 +142,24 @@ func (c Config) withDefaults() Config {
 
 // Server is an http.Handler serving the v1 API on top of a store.
 type Server struct {
-	st  *store.Store
-	cfg Config
-	mux *http.ServeMux
+	st    *store.Store
+	cfg   Config
+	mux   *http.ServeMux
+	proxy *fleet.Proxy // non-nil iff cfg.Fleet is set
 }
 
 // New builds the API handler around st.
 func New(st *store.Store, cfg Config) *Server {
 	s := &Server{st: st, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	if s.cfg.Fleet != nil {
+		s.proxy = &fleet.Proxy{
+			Transport: s.cfg.FleetTransport,
+			SelfRank:  s.cfg.Fleet.Self(),
+		}
+		if s.cfg.Log != nil {
+			s.proxy.ErrorLog = s.cfg.Log
+		}
+	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
@@ -146,16 +184,29 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v2/distributed/run", s.handleDistributedRun)
 	s.mux.HandleFunc("POST /v2/distributed/jobs", s.handleDistributedJob)
 	s.mux.HandleFunc("GET /v2/distributed", s.handleDistributedInfo)
+	s.mux.HandleFunc("GET /v2/cache/{key}", s.handleFleetCacheGet)
+	s.mux.HandleFunc("PUT /v2/cache/{key}", s.handleFleetCachePut)
+	s.mux.HandleFunc("GET /v2/fleet", s.handleFleetInfo)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Pure liveness: the process is up. Readiness lives at /readyz.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The middleware order is deliberate:
+// request ID first (every log line and error carries it), admission
+// control before body limits (reject over-rate tenants before reading
+// their bytes), body limits before routing (a peeked routing field must
+// ride the same cap the handler would), routing last.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := s.requestID(w, r)
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("%s %s", r.Method, r.URL.Path)
+		s.cfg.Log.Printf("%s %s rid=%s", r.Method, r.URL.Path, rid)
+	}
+	if !s.admit(w, r) {
+		return
 	}
 	isDatasetBody := (r.Method == http.MethodPost && r.URL.Path == "/v2/datasets") ||
 		(r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v2/blobs/"))
@@ -165,6 +216,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	}
+	if s.routeAway(w, r) {
+		return
 	}
 	s.mux.ServeHTTP(w, r)
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -146,9 +147,15 @@ func (s *Store) DecomposeObserved(ctx context.Context, graphName string, p Param
 	if _, err := p.options(); err != nil { // validate before touching the cache
 		return DecomposeResult{}, false, err
 	}
-	val, cached, err := s.do(ctx, graphName, p.canonical("decompose"), func(ctx context.Context, g *graph.Graph) (any, error) {
-		return s.runDecompose(ctx, graphName, g, p, progress)
-	})
+	val, cached, err := s.do(ctx, graphName, p.canonical("decompose"),
+		func(b []byte) (any, error) {
+			var r DecomposeResult
+			err := json.Unmarshal(b, &r)
+			return r, err
+		},
+		func(ctx context.Context, g *graph.Graph) (any, error) {
+			return s.runDecompose(ctx, graphName, g, p, progress)
+		})
 	if err != nil {
 		return DecomposeResult{}, false, err
 	}
@@ -215,9 +222,15 @@ func (s *Store) DiameterObserved(ctx context.Context, graphName string, p Params
 	if _, err := p.options(); err != nil {
 		return DiameterResult{}, false, err
 	}
-	val, cached, err := s.do(ctx, graphName, p.canonical("diameter"), func(ctx context.Context, g *graph.Graph) (any, error) {
-		return s.runDiameter(ctx, graphName, g, p, progress)
-	})
+	val, cached, err := s.do(ctx, graphName, p.canonical("diameter"),
+		func(b []byte) (any, error) {
+			var r DiameterResult
+			err := json.Unmarshal(b, &r)
+			return r, err
+		},
+		func(ctx context.Context, g *graph.Graph) (any, error) {
+			return s.runDiameter(ctx, graphName, g, p, progress)
+		})
 	if err != nil {
 		return DiameterResult{}, false, err
 	}

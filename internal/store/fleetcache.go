@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The server side of the fleet-wide result cache: GET/PUT /v2/cache/{key}
+// terminate here. The fleet cache is not a separate store — it is a
+// second index (fleetIdx) into the same LRU the local result cache uses,
+// keyed by dataset content address + canonical parameters instead of
+// process-local graph id. Entries arrive two ways: locally computed
+// results for dataset-backed graphs are indexed at insert, and peer
+// pushes land as raw JSON under a reserved graph id until a local query
+// promotes them to typed values. Either way they obey the one LRU budget
+// and eviction policy.
+
+// fleetGraphID keys raw peer-pushed entries in the LRU. Real graph ids
+// start at 1 (nextID is pre-incremented), so 0 can never collide with a
+// registered graph's results.
+const fleetGraphID uint64 = 0
+
+// FleetKey renders the fleet-wide cache key for an operation on a
+// dataset snapshot: the snapshot's SHA-256 hex plus the canonical
+// parameter string. Content addressing makes the key location- and
+// name-independent: any node holding a byte-identical snapshot computes
+// the same key, which is what lets routed queries reuse each other's
+// results exactly.
+func FleetKey(sha, op string, p Params) string {
+	return sha + "|" + p.normalized().canonical(op)
+}
+
+// FleetCacheGet serves a peer's GET /v2/cache/{key} probe from the local
+// LRU. It returns the JSON encoding of the cached result, whether typed
+// (computed here) or raw (pushed here), and refreshes the entry's LRU
+// position — a probed-for result is a live result.
+func (s *Store) FleetCacheGet(fkey string) ([]byte, bool) {
+	s.mu.Lock()
+	el, ok := s.fleetIdx[fkey]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	val := el.Value.(*entry).val
+	s.mu.Unlock()
+	if body, isRaw := val.([]byte); isRaw {
+		return body, true
+	}
+	body, err := json.Marshal(val)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// FleetCachePut accepts a peer's PUT /v2/cache/{key}: a JSON-encoded
+// result computed elsewhere, stored raw until a local query decodes it.
+// The body must be valid JSON and the key must look like a fleet key
+// (sha "|" params) — the endpoint trusts the fleet, not the bytes.
+func (s *Store) FleetCachePut(fkey string, body []byte) error {
+	if !strings.Contains(fkey, "|") {
+		return fmt.Errorf("store: malformed fleet cache key %q", fkey)
+	}
+	if !json.Valid(body) {
+		return fmt.Errorf("store: fleet cache body is not valid JSON")
+	}
+	stored := make([]byte, len(body))
+	copy(stored, body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.fleetIdx[fkey]; ok {
+		ent := el.Value.(*entry)
+		if _, isRaw := ent.val.([]byte); isRaw {
+			ent.val = stored // refresh a raw slot in place
+			s.lru.MoveToFront(el)
+		}
+		// A typed entry already holds this result; keep it.
+		return nil
+	}
+	el := s.lru.PushFront(&entry{
+		key:  key{graphID: fleetGraphID, params: fkey},
+		val:  stored,
+		fkey: fkey,
+	})
+	s.cache[el.Value.(*entry).key] = el
+	s.fleetIdx[fkey] = el
+	s.evictTailLocked()
+	return nil
+}
+
+// FleetKeyFor renders the fleet cache key for an op against a registered
+// graph, or ok=false when the graph is not dataset-backed (ad-hoc
+// uploads have no fleet-stable identity). The server layer uses it to
+// answer "where would this query's result live fleet-wide".
+func (s *Store) FleetKeyFor(graphName, op string, p Params) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ge, ok := s.graphs[graphName]
+	if !ok || ge.sha == "" {
+		return "", false
+	}
+	return FleetKey(ge.sha, op, p), true
+}
+
+// DatasetSHA reports the content address backing a registered graph, or
+// ok=false for ad-hoc registrations.
+func (s *Store) DatasetSHA(graphName string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ge, ok := s.graphs[graphName]
+	if !ok || ge.sha == "" {
+		return "", false
+	}
+	return ge.sha, true
+}

@@ -204,8 +204,15 @@ func (s *Store) submitJob(kind JobKind, graphName string, p Params) (*job, JobVi
 	s.mu.Lock()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.nextJob++
+	// Fleet members mint rank-qualified IDs ("job-r<rank>-<seq>") so the
+	// routing layer can send /v2/jobs/{id} requests home to the node that
+	// owns the job's registry entry and event stream.
+	id := fmt.Sprintf("job-%06d", s.nextJob)
+	if dc := s.cfg.Distributed; dc != nil {
+		id = fmt.Sprintf("job-r%d-%06d", dc.Rank, s.nextJob)
+	}
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", s.nextJob),
+		id:      id,
 		kind:    kind,
 		graph:   graphName,
 		params:  p,

@@ -20,6 +20,7 @@ package store
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,6 +56,23 @@ type Config struct {
 	// fleet: decompositions can be split across the fleet's daemons over
 	// the HTTP BSP transport. Nil keeps the daemon single-node.
 	Distributed *DistributedConfig
+	// FleetCache, when non-nil, extends the result cache fleet-wide for
+	// dataset-backed graphs: a local miss probes peers before computing,
+	// and a fresh result is pushed to the cache key's owner. Keys are
+	// dataset SHA-256 + canonical parameters, so content addressing makes
+	// cross-node reuse exact. See internal/fleet.Cache.
+	FleetCache FleetCache
+}
+
+// FleetCache is the store's hook into the fleet-wide result cache. Both
+// methods are best-effort: Get may probe several peers (bounded, with
+// timeouts) and Put may run in the background.
+type FleetCache interface {
+	// Get returns the JSON-encoded result cached anywhere in the fleet
+	// for key, if any peer holds it.
+	Get(ctx context.Context, key string) ([]byte, bool)
+	// Put advertises a freshly computed result to the fleet.
+	Put(key string, body []byte)
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +105,11 @@ type graphEntry struct {
 	id   uint64
 	g    *graph.Graph
 	info GraphInfo
+	// sha is the dataset snapshot's content address when the graph was
+	// faulted in from the catalog; empty for ad-hoc registrations. Only
+	// sha-backed graphs participate in the fleet-wide result cache — an
+	// inline upload has no fleet-stable identity.
+	sha string
 }
 
 // key identifies one cached computation.
@@ -95,10 +118,15 @@ type key struct {
 	params  string // canonical parameter string, see Params.canonical
 }
 
-// entry is one cache slot.
+// entry is one cache slot. val is the typed result for locally computed
+// entries, or raw JSON ([]byte) for results a peer pushed over
+// PUT /v2/cache before the dataset was ever resident here.
 type entry struct {
 	key key
 	val any
+	// fkey is the entry's fleet cache key (dataset sha + canonical
+	// params) when the graph is dataset-backed; it indexes fleetIdx.
+	fkey string
 }
 
 // flight is one in-progress computation that concurrent identical requests
@@ -118,6 +146,9 @@ type Counters struct {
 	Dedups       int64 `json:"dedups"` // requests that joined an in-flight computation
 	Computations int64 `json:"computations"`
 	Errors       int64 `json:"errors"`
+	// FleetHits counts misses answered by the fleet-wide cache (a peer's
+	// pushed result, or a successful peer probe) instead of a BSP run.
+	FleetHits int64 `json:"fleetHits"`
 }
 
 // JobCounts tallies registry jobs by state.
@@ -165,8 +196,9 @@ type Store struct {
 	closed   bool // Close begun: new jobs are no longer WG-tracked
 	nextID   uint64
 	graphs   map[string]*graphEntry
-	cache    map[key]*list.Element // values are *entry wrapped in list elements
-	lru      *list.List            // front = most recently used
+	cache    map[key]*list.Element    // values are *entry wrapped in list elements
+	lru      *list.List               // front = most recently used
+	fleetIdx map[string]*list.Element // fleet cache key → LRU element
 	flights  map[key]*flight
 	loads    map[string]*flight // per-name dataset fault-ins in progress
 	ctrs     Counters
@@ -190,6 +222,7 @@ func New(cfg Config) *Store {
 		graphs:     make(map[string]*graphEntry),
 		cache:      make(map[key]*list.Element),
 		lru:        list.New(),
+		fleetIdx:   make(map[string]*list.Element),
 		flights:    make(map[key]*flight),
 		loads:      make(map[string]*flight),
 		jobs:       make(map[string]*job),
@@ -218,6 +251,12 @@ func (s *Store) Close() {
 // existing name replaces the graph; cached results of the old graph are
 // dropped.
 func (s *Store) AddGraph(name string, g *graph.Graph, source string) (GraphInfo, error) {
+	return s.addGraph(name, g, source, "")
+}
+
+// addGraph is AddGraph plus the dataset content address for
+// catalog-faulted graphs (ad-hoc registrations pass "").
+func (s *Store) addGraph(name string, g *graph.Graph, source, sha string) (GraphInfo, error) {
 	if name == "" {
 		return GraphInfo{}, fmt.Errorf("store: graph name must be non-empty")
 	}
@@ -231,8 +270,9 @@ func (s *Store) AddGraph(name string, g *graph.Graph, source string) (GraphInfo,
 	}
 	s.nextID++
 	e := &graphEntry{
-		id: s.nextID,
-		g:  g,
+		id:  s.nextID,
+		g:   g,
+		sha: sha,
 		info: GraphInfo{
 			Name:      name,
 			NumNodes:  g.NumNodes(),
@@ -310,10 +350,20 @@ func (s *Store) purgeLocked(graphID uint64) {
 		next := el.Next()
 		ent := el.Value.(*entry)
 		if ent.key.graphID == graphID {
-			s.lru.Remove(el)
-			delete(s.cache, ent.key)
+			s.removeEntryLocked(el, ent)
 		}
 		el = next
+	}
+}
+
+// removeEntryLocked drops one cache slot and its fleet index entry (only
+// when the index still points at this element — a newer result for the
+// same fleet key may have repointed it). Caller holds s.mu.
+func (s *Store) removeEntryLocked(el *list.Element, ent *entry) {
+	s.lru.Remove(el)
+	delete(s.cache, ent.key)
+	if ent.fkey != "" && s.fleetIdx[ent.fkey] == el {
+		delete(s.fleetIdx, ent.fkey)
 	}
 }
 
@@ -322,13 +372,20 @@ func (s *Store) purgeLocked(graphID uint64) {
 // running fn on the registered graph under the concurrency cap. fn
 // receives the leader's context and must abandon its work when it is
 // cancelled. cached reports whether the value was served without running
-// fn (cache hit or joined flight).
+// fn (cache hit, joined flight, or fleet-cache hit).
+//
+// decode, when non-nil, turns a fleet-cached JSON body into the typed
+// result: for dataset-backed graphs a local miss first consults the
+// fleet-wide cache — a result a peer pushed here earlier, then a bounded
+// probe of live peers — and only computes when the whole fleet misses. A
+// freshly computed result is pushed back to the fleet (best-effort).
 //
 // A follower whose leader was cancelled (the leader's own context expired
 // while waiting for a compute slot or mid-run) retries instead of
 // inheriting the leader's error: one retrier becomes the new leader, the
 // rest join its flight. A follower only fails on its own context.
 func (s *Store) do(ctx context.Context, graphName, params string,
+	decode func([]byte) (any, error),
 	fn func(ctx context.Context, g *graph.Graph) (any, error)) (val any, cached bool, err error) {
 
 	for {
@@ -345,12 +402,40 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 			continue
 		}
 		k := key{graphID: ge.id, params: params}
+		fkey := ""
+		if s.cfg.FleetCache != nil && ge.sha != "" && decode != nil {
+			fkey = ge.sha + "|" + params
+		}
 		if el, ok := s.cache[k]; ok {
 			s.lru.MoveToFront(el)
 			s.ctrs.Hits++
 			v := el.Value.(*entry).val
 			s.mu.Unlock()
 			return v, true, nil
+		}
+		// A peer may have pushed this result here before the dataset was
+		// ever queried locally (the raw-JSON side of the fleet cache).
+		if fkey != "" {
+			if el, ok := s.fleetIdx[fkey]; ok {
+				if body, isRaw := el.Value.(*entry).val.([]byte); isRaw {
+					s.mu.Unlock()
+					if v, derr := decode(body); derr == nil {
+						s.mu.Lock()
+						s.ctrs.FleetHits++
+						// Promote: drop the raw slot, insert the typed result.
+						if el, ok := s.fleetIdx[fkey]; ok {
+							if _, isRaw := el.Value.(*entry).val.([]byte); isRaw {
+								s.removeEntryLocked(el, el.Value.(*entry))
+							}
+						}
+						s.insertLocked(graphName, k, fkey, v)
+						s.mu.Unlock()
+						return v, true, nil
+					}
+					// Undecodable push: fall through and recompute.
+					s.mu.Lock()
+				}
+			}
 		}
 		if f, ok := s.flights[k]; ok {
 			s.ctrs.Dedups++
@@ -374,27 +459,50 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		g := ge.g
 		s.mu.Unlock()
 
-		// Leader path: acquire a compute slot, run, publish.
-		select {
-		case s.sem <- struct{}{}:
-			f.val, f.err = fn(ctx, g)
-			<-s.sem
-		case <-ctx.Done():
-			f.err = ctx.Err()
+		// Leader path: probe the fleet, else acquire a compute slot, run,
+		// publish. The probe rides the flight leadership, so concurrent
+		// identical local requests cost at most one peer round-trip.
+		fleetHit := false
+		if fkey != "" {
+			if body, ok := s.cfg.FleetCache.Get(ctx, fkey); ok {
+				if v, derr := decode(body); derr == nil {
+					f.val, fleetHit = v, true
+				}
+			}
+		}
+		if !fleetHit {
+			select {
+			case s.sem <- struct{}{}:
+				f.val, f.err = fn(ctx, g)
+				<-s.sem
+			case <-ctx.Done():
+				f.err = ctx.Err()
+			}
 		}
 
 		s.mu.Lock()
 		delete(s.flights, k)
 		switch {
 		case f.err == nil:
-			s.ctrs.Computations++
-			s.insertLocked(graphName, k, f.val)
+			if fleetHit {
+				s.ctrs.FleetHits++
+			} else {
+				s.ctrs.Computations++
+			}
+			s.insertLocked(graphName, k, fkey, f.val)
 		case !isContextErr(f.err):
 			s.ctrs.Errors++ // client disconnects are not store errors
 		}
 		s.mu.Unlock()
 		close(f.done)
-		return f.val, false, f.err
+		if f.err == nil && fkey != "" && !fleetHit {
+			// Push the fresh result to the key's fleet owner so routed
+			// queries find it wherever they land (best-effort, async).
+			if body, merr := json.Marshal(f.val); merr == nil {
+				s.cfg.FleetCache.Put(fkey, body)
+			}
+		}
+		return f.val, fleetHit, f.err
 	}
 }
 
@@ -435,7 +543,8 @@ func (s *Store) faultIn(ctx context.Context, graphName string) error {
 		ld, err := cat.Load(graphName)
 		if err == nil {
 			err = s.addGraphIfAbsent(graphName, ld.Graph,
-				fmt.Sprintf("dataset sha256=%s", dataset.ShortSHA(ld.Header.SHAHex())))
+				fmt.Sprintf("dataset sha256=%s", dataset.ShortSHA(ld.Header.SHAHex())),
+				ld.Header.SHAHex())
 		} else if errors.Is(err, dataset.ErrNotFound) {
 			err = &NotFoundError{Name: graphName}
 		}
@@ -454,17 +563,17 @@ func (s *Store) faultIn(ctx context.Context, graphName string) error {
 // mid-load) must not clobber the client's graph and purge its results.
 // Either way the name is resident afterwards, which is all fault-in
 // callers need.
-func (s *Store) addGraphIfAbsent(name string, g *graph.Graph, source string) error {
+func (s *Store) addGraphIfAbsent(name string, g *graph.Graph, source, sha string) error {
 	s.mu.Lock()
 	_, exists := s.graphs[name]
 	s.mu.Unlock()
 	if exists {
 		return nil
 	}
-	// AddGraph re-locks; the window between the check and the add is
+	// addGraph re-locks; the window between the check and the add is
 	// benign — worst case the dataset copy wins a race two registrations
 	// were always allowed to have.
-	_, err := s.AddGraph(name, g, source)
+	_, err := s.addGraph(name, g, source, sha)
 	return err
 }
 
@@ -491,17 +600,26 @@ func isContextErr(err error) bool {
 // insertLocked adds a freshly computed value, evicting from the LRU tail.
 // The insert is skipped when the graph was removed or replaced while the
 // computation ran — the old id's key could never be matched again and
-// would only squat an LRU slot. Caller holds s.mu.
-func (s *Store) insertLocked(graphName string, k key, val any) {
+// would only squat an LRU slot. fkey, when non-empty, (re)points the
+// fleet index at this entry so peer probes find the typed result. Caller
+// holds s.mu.
+func (s *Store) insertLocked(graphName string, k key, fkey string, val any) {
 	if ge, ok := s.graphs[graphName]; !ok || ge.id != k.graphID {
 		return
 	}
-	s.cache[k] = s.lru.PushFront(&entry{key: k, val: val})
+	el := s.lru.PushFront(&entry{key: k, val: val, fkey: fkey})
+	s.cache[k] = el
+	if fkey != "" {
+		s.fleetIdx[fkey] = el
+	}
+	s.evictTailLocked()
+}
+
+// evictTailLocked trims the LRU to its entry budget. Caller holds s.mu.
+func (s *Store) evictTailLocked() {
 	for s.lru.Len() > s.cfg.MaxEntries {
 		tail := s.lru.Back()
-		ent := tail.Value.(*entry)
-		s.lru.Remove(tail)
-		delete(s.cache, ent.key)
+		s.removeEntryLocked(tail, tail.Value.(*entry))
 		s.ctrs.Evictions++
 	}
 }

@@ -240,7 +240,7 @@ func TestConcurrencyCap(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := s.do(context.Background(), "g", fmt.Sprintf("op%d", i),
+			_, _, err := s.do(context.Background(), "g", fmt.Sprintf("op%d", i), nil,
 				func(context.Context, *graph.Graph) (any, error) {
 					c := cur.Add(1)
 					for {
@@ -270,7 +270,7 @@ func TestFollowerContextCancel(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		_, _, err := s.do(context.Background(), "g", "slow", func(context.Context, *graph.Graph) (any, error) {
+		_, _, err := s.do(context.Background(), "g", "slow", nil, func(context.Context, *graph.Graph) (any, error) {
 			<-release
 			return 1, nil
 		})
@@ -287,7 +287,7 @@ func TestFollowerContextCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := s.do(ctx, "g", "slow", func(context.Context, *graph.Graph) (any, error) {
+	_, _, err := s.do(ctx, "g", "slow", nil, func(context.Context, *graph.Graph) (any, error) {
 		t.Error("follower must not compute")
 		return nil, nil
 	})
@@ -327,7 +327,7 @@ func TestLeaderCancelPromotesFollower(t *testing.T) {
 	hostageDone := make(chan struct{})
 	go func() {
 		defer close(hostageDone)
-		s.do(context.Background(), "g", "hostage", func(context.Context, *graph.Graph) (any, error) {
+		s.do(context.Background(), "g", "hostage", nil, func(context.Context, *graph.Graph) (any, error) {
 			<-release
 			return 0, nil
 		})
@@ -340,7 +340,7 @@ func TestLeaderCancelPromotesFollower(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		_, _, err := s.do(leaderCtx, "g", "contested", func(context.Context, *graph.Graph) (any, error) {
+		_, _, err := s.do(leaderCtx, "g", "contested", nil, func(context.Context, *graph.Graph) (any, error) {
 			t.Error("cancelled leader must not compute")
 			return nil, nil
 		})
@@ -355,7 +355,7 @@ func TestLeaderCancelPromotesFollower(t *testing.T) {
 	followerDone := make(chan struct{})
 	go func() {
 		defer close(followerDone)
-		v, _, err := s.do(context.Background(), "g", "contested", func(context.Context, *graph.Graph) (any, error) {
+		v, _, err := s.do(context.Background(), "g", "contested", nil, func(context.Context, *graph.Graph) (any, error) {
 			return "recomputed", nil
 		})
 		if err != nil || v != "recomputed" {
@@ -382,7 +382,7 @@ func TestRemoveGraphDuringFlight(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _, err := s.do(context.Background(), "g", "k", func(context.Context, *graph.Graph) (any, error) {
+		_, _, err := s.do(context.Background(), "g", "k", nil, func(context.Context, *graph.Graph) (any, error) {
 			close(started)
 			<-release
 			return 1, nil
@@ -413,10 +413,10 @@ func TestComputeErrorNotCached(t *testing.T) {
 		}
 		return "ok", nil
 	}
-	if _, _, err := s.do(context.Background(), "g", "k", fn); !errors.Is(err, boom) {
+	if _, _, err := s.do(context.Background(), "g", "k", nil, fn); !errors.Is(err, boom) {
 		t.Fatalf("want boom, got %v", err)
 	}
-	v, cached, err := s.do(context.Background(), "g", "k", fn)
+	v, cached, err := s.do(context.Background(), "g", "k", nil, fn)
 	if err != nil || cached || v != "ok" {
 		t.Fatalf("retry after error: v=%v cached=%v err=%v", v, cached, err)
 	}
