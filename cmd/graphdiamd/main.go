@@ -74,6 +74,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -83,6 +84,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -151,6 +153,8 @@ func main() {
 		workerID      = flag.Int("worker-id", 0, "this daemon's rank in -peers")
 		barrierTO     = flag.Duration("barrier-timeout", 0, "per-superstep wait for remote BSP frames (0 = default 30s; requires -peers)")
 		probeEvery    = flag.Duration("probe-interval", 0, "fleet health-probe cadence (0 = default 5s; requires -peers)")
+		replicas      = flag.Int("replicas", 1, "read replication factor k: cached results are pushed to the top-k preference members and served from any of them (requires -peers for k>1)")
+		fleetConfig   = flag.String("fleet-config", "", "JSON placement-view file ({\"epoch\",\"members\"}) reloaded on SIGHUP to swap fleet membership at runtime (requires -peers)")
 		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant admitted jobs/second (0 = admission control disabled)")
 		tenantBurst   = flag.Float64("tenant-burst", 0, "per-tenant job burst capacity (0 = max(1, -tenant-rate); requires -tenant-rate)")
 		pre           preloads
@@ -177,6 +181,15 @@ func main() {
 		if *probeEvery != 0 {
 			logger.Fatalf("-probe-interval requires -peers")
 		}
+		if *replicas > 1 {
+			logger.Fatalf("-replicas > 1 requires -peers")
+		}
+		if *fleetConfig != "" {
+			logger.Fatalf("-fleet-config requires -peers")
+		}
+	}
+	if *replicas < 1 {
+		logger.Fatalf("-replicas must be >= 1")
 	}
 	if *tenantRate < 0 {
 		logger.Fatalf("-tenant-rate must be non-negative")
@@ -255,10 +268,10 @@ func main() {
 		}
 		ftab.Start()
 		defer ftab.Close()
-		fcache = fleet.NewCache(ftab, fleet.CacheOptions{})
+		fcache = fleet.NewCache(ftab, fleet.CacheOptions{Replicas: *replicas})
 		defer fcache.Close()
-		logger.Printf("fleet query plane: rank %d of %d, probing peers every %v",
-			*workerID, len(peers), interval)
+		logger.Printf("fleet query plane: rank %d of %d, probing peers every %v, replication factor %d",
+			*workerID, len(peers), interval, *replicas)
 	}
 
 	scfg := store.Config{
@@ -289,11 +302,20 @@ func main() {
 	if err != nil {
 		logger.Fatalf("bad -max-dataset-body: %v", err)
 	}
+	// drainCh fires when a POST /v2/fleet/drain sequence completes:
+	// in-flight work finished, successors pre-warmed — time to exit.
+	drainCh := make(chan struct{})
 	cfg := server.Config{
 		MaxRequestBytes: *maxBody,
 		MaxDatasetBytes: maxDatasetBytes,
 		Datasets:        cat,
 		Fleet:           ftab,
+		Replicas:        *replicas,
+		DrainTimeout:    *drain,
+	}
+	if ftab != nil {
+		var drainOnce sync.Once
+		cfg.OnDrain = func() { drainOnce.Do(func() { close(drainCh) }) }
 	}
 	if *tenantRate > 0 {
 		cfg.Quotas = fleet.NewQuotas(*tenantRate, *tenantBurst)
@@ -315,6 +337,34 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP reloads -fleet-config: a JSON placement view whose epoch must
+	// strictly exceed the current one. A bad file (or a view that would
+	// orphan this node) is rejected with the old view kept — reload is
+	// never allowed to wedge a serving daemon.
+	if *fleetConfig != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				b, err := os.ReadFile(*fleetConfig)
+				if err != nil {
+					logger.Printf("fleet-config reload: %v", err)
+					continue
+				}
+				var v fleet.View
+				if err := json.Unmarshal(b, &v); err != nil {
+					logger.Printf("fleet-config reload: parse %s: %v", *fleetConfig, err)
+					continue
+				}
+				if err := ftab.SwapView(v); err != nil {
+					logger.Printf("fleet-config reload rejected: %v", err)
+					continue
+				}
+				logger.Printf("fleet-config reload: now on placement epoch %d (%d members)", v.Epoch, len(v.Members))
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (cache=%d entries, %d concurrent BSP runs)",
@@ -326,6 +376,8 @@ func main() {
 	case err := <-errCh:
 		logger.Fatalf("serve: %v", err)
 	case <-ctx.Done():
+	case <-drainCh:
+		logger.Printf("drain complete; beginning graceful exit")
 	}
 
 	logger.Printf("shutting down, draining for up to %v", *drain)

@@ -87,7 +87,7 @@ func main() {
 
 	lb := &frontDoor{
 		table:   table,
-		proxy:   &fleet.Proxy{SelfRank: -1, ErrorLog: logger},
+		proxy:   &fleet.Proxy{SelfRank: -1, Table: table, ErrorLog: logger},
 		maxBody: *maxBody,
 	}
 	if *tenantRate > 0 {
@@ -151,7 +151,9 @@ func (f *frontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.log.Printf("%s %s rid=%s", r.Method, r.URL.Path, rid)
 	}
 
-	// The lb's own endpoints: liveness, readiness, placement view.
+	// The lb's own endpoints: liveness, readiness, placement view, and
+	// membership administration (a config push to the lb keeps the edge's
+	// placement in lockstep with the daemons it fronts).
 	switch r.URL.Path {
 	case "/healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -162,6 +164,13 @@ func (f *frontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/v2/fleet":
 		f.serveFleet(w, r)
 		return
+	case "/v2/fleet/config":
+		if r.Method != http.MethodPost {
+			fleet.WriteJSONError(w, http.StatusMethodNotAllowed, fmt.Errorf("config pushes are POST"))
+			return
+		}
+		fleet.HandleConfigPush(f.table, w, r)
+		return
 	}
 
 	if !f.admit(w, r) {
@@ -169,16 +178,22 @@ func (f *frontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, f.maxBody)
 
-	target, ok := f.place(w, r)
+	chain, ok := f.place(w, r)
 	if !ok {
 		return // place already wrote the error
 	}
-	f.proxy.Forward(w, r, target)
+	f.proxy.ForwardChain(w, r, chain)
 }
 
-// place picks the daemon this request should land on, mirroring the
-// daemons' own routing rules so the first hop is usually the last.
-func (f *frontDoor) place(w http.ResponseWriter, r *http.Request) (fleet.Member, bool) {
+// placeChainMax bounds how many failover candidates one request walks.
+const placeChainMax = 3
+
+// place picks the daemons this request may land on, best first,
+// mirroring the daemons' own routing rules so the first hop is usually
+// the last. The tail of the chain is the failover path: the proxy
+// advances past draining or freshly-dead members without bouncing the
+// error back to the client.
+func (f *frontDoor) place(w http.ResponseWriter, r *http.Request) ([]fleet.Member, bool) {
 	d := fleet.Classify(r.Method, r.URL.Path)
 	switch d.Class {
 	case fleet.RouteDataset:
@@ -188,30 +203,40 @@ func (f *frontDoor) place(w http.ResponseWriter, r *http.Request) (fleet.Member,
 			name, err = fleet.PeekBodyField(r, d.BodyField)
 			if err != nil {
 				fleet.WriteJSONError(w, http.StatusBadRequest, err)
-				return fleet.Member{}, false
+				return nil, false
 			}
 		}
 		if name != "" {
-			if owner, ok := f.table.Owner(name); ok {
-				return owner, true
+			if chain := f.table.Replicas(name, placeChainMax); len(chain) > 0 {
+				return chain, true
 			}
 		}
 	case fleet.RouteJob:
 		if rank, ok := fleet.JobHomeRank(d.JobID); ok {
 			members := f.table.Members()
 			if rank < len(members) && f.table.Live(rank) {
-				return members[rank], true
+				// A job lives only on its home rank — no failover chain.
+				return members[rank : rank+1], true
 			}
 		}
 	}
 	// RouteAny, RouteLocal, an unplaceable dataset (the daemon's handler
-	// answers the 400/404), or a dead job home: first live daemon.
-	if m, ok := f.table.FirstLive(); ok {
-		return m, true
+	// answers the 400/404), or a dead job home: live daemons in rank order.
+	var chain []fleet.Member
+	for _, m := range f.table.Members() {
+		if f.table.Live(m.Rank) {
+			chain = append(chain, m)
+			if len(chain) == placeChainMax {
+				break
+			}
+		}
+	}
+	if len(chain) > 0 {
+		return chain, true
 	}
 	fleet.WriteJSONError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("no live fleet member (probes against %d daemons all failing)", len(f.table.Members())))
-	return fleet.Member{}, false
+	return nil, false
 }
 
 func (f *frontDoor) admit(w http.ResponseWriter, r *http.Request) bool {
@@ -246,12 +271,14 @@ func (f *frontDoor) serveReadyz(w http.ResponseWriter) {
 		"status": state,
 		"live":   live,
 		"fleet":  f.table.Snapshot(),
+		"view":   f.table.View(),
 	})
 }
 
 func (f *frontDoor) serveFleet(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"self":    -1,
+		"epoch":   f.table.Epoch(),
 		"members": f.table.Snapshot(),
 	}
 	if ds := r.URL.Query().Get("dataset"); ds != "" {

@@ -6,8 +6,9 @@
 //
 // Placement is rendezvous (highest-random-weight) hashing: every node
 // scores each (member URL, key) pair with the same hash function and the
-// key's owner is the live member with the highest score. All nodes are
-// configured with the identical rank-ordered -peers list, so they agree
+// key's owner is the live member with the highest score. All nodes run
+// the identical epoch-stamped placement view (boot -peers list, or a
+// newer view swapped in at runtime — see membership.go), so they agree
 // on ownership without any coordination, and when the owner dies the key
 // deterministically fails over to the next-ranked live member — exactly
 // the "first live node in score order" every other node also computes.
@@ -21,8 +22,10 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log"
 	"net/http"
 	"net/url"
@@ -35,7 +38,7 @@ import (
 
 // Member is one node of the fleet.
 type Member struct {
-	// Rank is the member's index in the shared -peers list.
+	// Rank is the member's index in the current placement view.
 	Rank int `json:"rank"`
 	// URL is the member's base URL (no trailing slash).
 	URL string `json:"url"`
@@ -59,21 +62,33 @@ type TableOptions struct {
 	Interval time.Duration
 	// ProbeTimeout bounds one member's health probe. Default 2s.
 	ProbeTimeout time.Duration
+	// FlipThreshold is the hysteresis width: how many consecutive probe
+	// failures it takes to mark a live member down. Default 2, so one
+	// flaky probe (or a peer mid-GC-pause) does not reshuffle placement.
+	// Recovery is asymmetric — a single successful probe marks a dead
+	// member up — because serving from a freshly-returned member is
+	// cheap, while abandoning a healthy owner is not.
+	FlipThreshold int
 	// Client performs health probes; nil selects http.DefaultClient.
 	Client *http.Client
 	// Log receives membership transitions; nil disables logging.
 	Log *log.Logger
 }
 
-// Table is the fleet membership view of one node: the shared rank-ordered
-// member list, each member's last observed health, and the placement
-// function. All methods are safe for concurrent use.
+// Table is the fleet membership view of one node: the epoch-stamped
+// rank-ordered member list, each member's last observed health, and the
+// placement function. The whole view swaps atomically (SwapView), so
+// routing decisions never observe a half-applied membership change. All
+// methods are safe for concurrent use.
 type Table struct {
-	members []Member
-	self    int // index into members, or -1 for a node outside the fleet (the lb)
+	// selfURL is this node's identity across view swaps ("" for a node
+	// outside the fleet, like the lb). The node's rank is derived from
+	// the current view, not fixed at boot.
+	selfURL string
 	opts    TableOptions
 
-	alive []atomic.Bool
+	cur    atomic.Pointer[tableView]
+	swapMu sync.Mutex // serializes SwapView's check-then-store
 
 	started  atomic.Bool
 	stopOnce sync.Once
@@ -81,11 +96,11 @@ type Table struct {
 	stopped  chan struct{}
 }
 
-// NewTable builds a membership table over the shared peer list. self is
-// this node's rank in urls, or -1 for a front door that is not itself a
-// member (cmd/graphdiamlb). Until the first probe, every member except
-// self is considered down — run ProbeOnce (or Start the background
-// prober) before routing.
+// NewTable builds a membership table over the boot peer list, which
+// becomes placement view epoch 1. self is this node's rank in urls, or
+// -1 for a front door that is not itself a member (cmd/graphdiamlb).
+// Until the first probe, every member except self is considered down —
+// run ProbeOnce (or Start the background prober) before routing.
 func NewTable(urls []string, self int, opts TableOptions) (*Table, error) {
 	norm, err := NormalizePeers(urls)
 	if err != nil {
@@ -97,23 +112,25 @@ func NewTable(urls []string, self int, opts TableOptions) (*Table, error) {
 	if opts.ProbeTimeout <= 0 {
 		opts.ProbeTimeout = 2 * time.Second
 	}
+	if opts.FlipThreshold <= 0 {
+		opts.FlipThreshold = 2
+	}
 	if opts.Client == nil {
 		opts.Client = http.DefaultClient
 	}
 	t := &Table{
-		members: make([]Member, len(norm)),
-		self:    self,
 		opts:    opts,
-		alive:   make([]atomic.Bool, len(norm)),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
-	for i, u := range norm {
-		t.members[i] = Member{Rank: i, URL: u}
-	}
 	if self >= 0 {
-		t.alive[self].Store(true)
+		t.selfURL = norm[self]
 	}
+	v, err := t.buildView(View{Epoch: 1, Members: norm}, &tableView{})
+	if err != nil {
+		return nil, err
+	}
+	t.cur.Store(v)
 	return t, nil
 }
 
@@ -170,47 +187,98 @@ func ValidateDaemonFlags(peers []string, workerID int, blobURL string) ([]string
 	return norm, nil
 }
 
-// Self returns this node's rank, or -1 outside the fleet.
-func (t *Table) Self() int { return t.self }
+// Self returns this node's rank in the current view, or -1 outside the
+// fleet. The rank can change across view swaps (a swap that would drop
+// the node entirely is rejected — see buildView); callers needing a
+// stable identity should use SelfURL.
+func (t *Table) Self() int { return t.cur.Load().self }
 
-// Members returns the rank-ordered member list.
-func (t *Table) Members() []Member { return append([]Member(nil), t.members...) }
+// SelfURL returns this node's canonical member URL, or "" outside the
+// fleet. Unlike the rank, the URL is stable across view swaps.
+func (t *Table) SelfURL() string { return t.selfURL }
 
-// Live reports the last observed health of the member with the given
-// rank. Self is always live.
-func (t *Table) Live(rank int) bool {
-	return rank >= 0 && rank < len(t.alive) && t.alive[rank].Load()
+// Members returns the rank-ordered member list of the current view.
+func (t *Table) Members() []Member {
+	v := t.cur.Load()
+	return append([]Member(nil), v.members...)
 }
 
-// SetLive overrides one member's health (tests, and the prober).
+// Live reports the last observed health of the member with the given
+// rank in the current view. Self is always live.
+func (t *Table) Live(rank int) bool {
+	v := t.cur.Load()
+	return rank >= 0 && rank < len(v.health) && v.health[rank].live.Load()
+}
+
+// SetLive overrides one member's health (tests, and direct operator
+// action). A direct override also resets the hysteresis streak.
 func (t *Table) SetLive(rank int, live bool) {
-	if rank < 0 || rank >= len(t.alive) || (rank == t.self && !live) {
+	v := t.cur.Load()
+	if rank < 0 || rank >= len(v.health) || (rank == v.self && !live) {
 		return // self never goes dead in its own view
 	}
-	was := t.alive[rank].Swap(live)
+	h := v.health[rank]
+	h.contrary.Store(0)
+	was := h.live.Swap(live)
 	if was != live && t.opts.Log != nil {
 		state := "down"
 		if live {
 			state = "up"
 		}
-		t.opts.Log.Printf("fleet: member %d (%s) is %s", rank, t.members[rank].URL, state)
+		t.opts.Log.Printf("fleet: member %d (%s) is %s", rank, v.members[rank].URL, state)
 	}
 }
 
-// Snapshot reports every member with its last observed health.
+// reportProbe feeds one probe observation into a member's hysteresis
+// state. Coming up takes a single success; going down takes
+// FlipThreshold consecutive failures, so a flapping peer (alternating
+// up/down) never leaves the live set and placement stays stable.
+func (t *Table) reportProbe(v *tableView, rank int, up bool) {
+	if rank < 0 || rank >= len(v.health) || rank == v.self {
+		return
+	}
+	h := v.health[rank]
+	was := h.live.Load()
+	if up == was {
+		h.contrary.Store(0)
+		return
+	}
+	if up {
+		// Single-success recovery: a dead member answering readyz is
+		// immediately eligible again.
+		h.contrary.Store(0)
+		if !h.live.Swap(true) && t.opts.Log != nil {
+			t.opts.Log.Printf("fleet: member %d (%s) is up", rank, v.members[rank].URL)
+		}
+		return
+	}
+	if h.contrary.Add(1) < int32(t.opts.FlipThreshold) {
+		return // within hysteresis: keep serving through a blip
+	}
+	h.contrary.Store(0)
+	if h.live.Swap(false) && t.opts.Log != nil {
+		t.opts.Log.Printf("fleet: member %d (%s) is down after %d consecutive probe failures",
+			rank, v.members[rank].URL, t.opts.FlipThreshold)
+	}
+}
+
+// Snapshot reports every member of the current view with its last
+// observed health.
 func (t *Table) Snapshot() []MemberStatus {
-	out := make([]MemberStatus, len(t.members))
-	for i, m := range t.members {
-		out[i] = MemberStatus{Member: m, Live: t.alive[i].Load(), Self: i == t.self}
+	v := t.cur.Load()
+	out := make([]MemberStatus, len(v.members))
+	for i, m := range v.members {
+		out[i] = MemberStatus{Member: m, Live: v.health[i].live.Load(), Self: i == v.self}
 	}
 	return out
 }
 
 // LiveCount counts members currently observed live.
 func (t *Table) LiveCount() int {
+	v := t.cur.Load()
 	n := 0
-	for i := range t.alive {
-		if t.alive[i].Load() {
+	for i := range v.health {
+		if v.health[i].live.Load() {
 			n++
 		}
 	}
@@ -243,16 +311,18 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// Preference returns every member in descending rendezvous-score order
-// for key — the deterministic failover chain. Ties (only possible with
-// colliding hashes) break toward the lower rank, keeping the order total.
+// Preference returns every member of the current view in descending
+// rendezvous-score order for key — the deterministic failover chain.
+// Ties (only possible with colliding hashes) break toward the lower
+// rank, keeping the order total.
 func (t *Table) Preference(key string) []Member {
+	v := t.cur.Load()
 	type scored struct {
 		m Member
 		s uint64
 	}
-	sc := make([]scored, len(t.members))
-	for i, m := range t.members {
+	sc := make([]scored, len(v.members))
+	for i, m := range v.members {
 		sc[i] = scored{m: m, s: score(m.URL, key)}
 	}
 	sort.Slice(sc, func(i, j int) bool {
@@ -272,19 +342,41 @@ func (t *Table) Preference(key string) []Member {
 // preference order. ok is false when no member is live (only possible on
 // a node outside the fleet — a member always counts itself live).
 func (t *Table) Owner(key string) (Member, bool) {
+	v := t.cur.Load()
 	for _, m := range t.Preference(key) {
-		if t.alive[m.Rank].Load() {
+		if m.Rank < len(v.health) && v.health[m.Rank].live.Load() {
 			return m, true
 		}
 	}
 	return Member{}, false
 }
 
+// Replicas returns the first k live members of the key's preference
+// chain — the owner plus its read replicas. k<=1 degrades to the owner
+// alone; fewer than k live members yields fewer replicas.
+func (t *Table) Replicas(key string, k int) []Member {
+	if k < 1 {
+		k = 1
+	}
+	v := t.cur.Load()
+	out := make([]Member, 0, k)
+	for _, m := range t.Preference(key) {
+		if m.Rank < len(v.health) && v.health[m.Rank].live.Load() {
+			out = append(out, m)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
 // FirstLive returns the lowest-ranked live member — the front door's
 // target for requests that have no dataset to place.
 func (t *Table) FirstLive() (Member, bool) {
-	for i, m := range t.members {
-		if t.alive[i].Load() {
+	v := t.cur.Load()
+	for i, m := range v.members {
+		if v.health[i].live.Load() {
 			return m, true
 		}
 	}
@@ -292,36 +384,66 @@ func (t *Table) FirstLive() (Member, bool) {
 }
 
 // ProbeOnce health-checks every member (except self) once, in parallel,
-// against GET /readyz. A member is live iff it answers 2xx within the
-// probe timeout.
+// against GET /readyz, feeding results through the hysteresis filter. A
+// probe is a success iff the member answers 2xx within the probe
+// timeout. Probes double as anti-entropy: a readyz body advertising a
+// newer placement view than ours is adopted after the sweep, so a node
+// that missed a config push converges within one probe interval.
 func (t *Table) ProbeOnce(ctx context.Context) {
-	var wg sync.WaitGroup
-	for i := range t.members {
-		if i == t.self {
+	v := t.cur.Load()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		newest View
+	)
+	for i := range v.members {
+		if i == v.self {
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			t.SetLive(i, t.probe(ctx, t.members[i].URL))
+			up, adv := t.probe(ctx, v.members[i].URL)
+			t.reportProbe(v, i, up)
+			if adv.Epoch > 0 {
+				mu.Lock()
+				if adv.Epoch > newest.Epoch {
+					newest = adv
+				}
+				mu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()
+	if newest.Epoch > t.Epoch() {
+		t.AdoptIfNewer(newest)
+	}
 }
 
-func (t *Table) probe(ctx context.Context, baseURL string) bool {
+// probe health-checks one member and parses any placement view its
+// readyz body advertises (readyz carries the view even on 503, so a
+// draining or not-ready peer still gossips membership).
+func (t *Table) probe(ctx context.Context, baseURL string) (bool, View) {
 	ctx, cancel := context.WithTimeout(ctx, t.opts.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/readyz", nil)
 	if err != nil {
-		return false
+		return false, View{}
 	}
 	resp, err := t.opts.Client.Do(req)
 	if err != nil {
-		return false
+		return false, View{}
 	}
-	resp.Body.Close()
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	defer resp.Body.Close()
+	var adv struct {
+		View *View `json:"view"`
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	view := View{}
+	if err == nil && json.Unmarshal(body, &adv) == nil && adv.View != nil {
+		view = *adv.View
+	}
+	return resp.StatusCode >= 200 && resp.StatusCode < 300, view
 }
 
 // Start launches the background prober at the configured interval (no-op

@@ -27,6 +27,10 @@ const (
 	EdgeHeader      = "X-Graphdiam-Edge"
 	RequestIDHeader = "X-Request-Id"
 	TenantHeader    = "X-Tenant"
+	// EpochHeader stamps every fleet-internal hop with the sender's
+	// placement-view epoch; a receiver on a different epoch rejects the
+	// hop (409 + its view) instead of answering under divergent placement.
+	EpochHeader = "X-Graphdiam-Epoch"
 )
 
 // RouteClass says where a request must execute.
@@ -90,7 +94,10 @@ func Classify(method, path string) Decision {
 		strings.HasPrefix(path, "/v2/bsp/"),
 		strings.HasPrefix(path, "/v2/blobs"),
 		strings.HasPrefix(path, "/v2/distributed"),
-		path == "/healthz", path == "/readyz", path == "/v2/fleet":
+		path == "/healthz", path == "/readyz",
+		path == "/v2/fleet", strings.HasPrefix(path, "/v2/fleet/"):
+		// Membership administration (/v2/fleet/config, /v2/fleet/drain)
+		// targets the node the operator addressed, never a routed peer.
 		return Decision{Class: RouteLocal}
 	default:
 		return Decision{Class: RouteAny}

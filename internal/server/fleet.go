@@ -2,20 +2,24 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"graphdiam/internal/fleet"
+	"graphdiam/internal/store"
 )
 
 // The fleet-facing half of the serving tier: owner routing, the fleet
 // cache peer endpoints, the liveness/readiness split, request-ID
-// propagation, and per-tenant admission control. Everything here is
+// propagation, per-tenant admission control, and elastic membership
+// (epoch enforcement, config pushes, graceful drain). Everything here is
 // inert unless Config.Fleet (routing) or Config.Quotas (admission) is
 // set, so a standalone daemon's request path is unchanged.
 
@@ -31,6 +35,44 @@ func (s *Server) requestID(w http.ResponseWriter, r *http.Request) string {
 	}
 	w.Header().Set(fleet.RequestIDHeader, rid)
 	return rid
+}
+
+// epochExempt lists the paths a node must answer regardless of placement
+// epoch: health and membership endpoints are how divergent views get
+// *repaired*, so rejecting them would wedge convergence.
+func epochExempt(path string) bool {
+	return path == "/healthz" || path == "/readyz" ||
+		path == "/v2/fleet" || strings.HasPrefix(path, "/v2/fleet/")
+}
+
+// checkEpoch enforces the placement-epoch contract on fleet-internal
+// hops: a request stamped with an epoch other than this node's view is
+// rejected with a classified 409 carrying our view, never answered under
+// divergent placement. Unstamped requests (external clients) pass.
+// Returns false after writing the rejection.
+func (s *Server) checkEpoch(w http.ResponseWriter, r *http.Request) bool {
+	t := s.cfg.Fleet
+	if t == nil || epochExempt(r.URL.Path) {
+		return true
+	}
+	e, ok := fleet.RequestEpoch(r.Header)
+	if !ok || e == t.Epoch() {
+		return true
+	}
+	fleet.WriteEpochMismatch(w, strconv.FormatUint(e, 10), t.View())
+	return false
+}
+
+// checkDraining rejects new compute work while the node drains, with the
+// classified 503 + Retry-After the proxies turn into a failover. Reads,
+// cache probes, and routing all keep working — drain degrades a node to
+// read-only, it does not black-hole it. Returns false after writing.
+func (s *Server) checkDraining(w http.ResponseWriter, r *http.Request) bool {
+	if !s.draining.Load() || !fleet.CostsJob(r.Method, r.URL.Path) {
+		return true
+	}
+	fleet.WriteDraining(w, 2)
+	return false
 }
 
 // admit applies per-tenant admission control to compute-cost requests.
@@ -63,12 +105,66 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
+// computePeek is the routing-relevant subset of a compute request body:
+// enough to place it (Graph) and to decide whether a replica can serve
+// it from local cache (Op + Params).
+type computePeek struct {
+	Op    string `json:"op"`
+	Graph string `json:"graph"`
+	Name  string `json:"name"`
+	store.Params
+}
+
+// peekCompute buffers the request body (bounded by the MaxBytesReader
+// already installed), parses the routing-relevant fields, and reinstates
+// the body. A non-JSON body yields the zero peek — the handler will
+// produce its usual 400.
+func peekCompute(r *http.Request) (computePeek, error) {
+	body, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return computePeek{}, fmt.Errorf("read request body: %w", err)
+	}
+	r.Body = io.NopCloser(strings.NewReader(string(body)))
+	r.ContentLength = int64(len(body))
+	var pk computePeek
+	json.Unmarshal(body, &pk)
+	return pk, nil
+}
+
+// replicaOp maps a compute path to the operation name used in fleet
+// cache keys, or "" when the path is not replica-servable. Only the v1
+// synchronous compute endpoints qualify: their responses are pure
+// functions of (dataset bytes, params), so a replica answering from its
+// pushed copy is byte-identical to the owner answering from its LRU.
+// Job submissions stay owner-homed — a job's ID embeds the rank that
+// created it.
+func replicaOp(method, path string) string {
+	if method != http.MethodPost {
+		return ""
+	}
+	switch path {
+	case "/v1/decompose":
+		return string(store.JobDecompose)
+	case "/v1/diameter":
+		return string(store.JobDiameter)
+	default:
+		return ""
+	}
+}
+
 // routeAway forwards the request to the fleet member that owns it and
 // reports whether it did (or wrote an error). A request that already
 // crossed a daemon→daemon hop (RoutedHeader) is always served locally:
-// the sender computed ownership from the same shared member list, so a
-// second hop could only mean divergent health views — one extra hop is
+// the sender computed ownership from the same shared placement view, so
+// a second hop could only mean divergent health views — one extra hop is
 // the bounded cost of a stale view, a loop is not.
+//
+// With replication factor k>1, a node that is one of the key's top-k
+// live preference members serves a v1 compute itself when the result
+// already sits in its local cache (a replica push), skipping the hop to
+// the owner; on a local miss it still forwards, so computes stay
+// single-homed and cross-node singleflight intact.
 func (s *Server) routeAway(w http.ResponseWriter, r *http.Request) bool {
 	if s.proxy == nil || r.Header.Get(fleet.RoutedHeader) != "" {
 		return false
@@ -87,22 +183,44 @@ func (s *Server) routeAway(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	case fleet.RouteDataset:
 		name := d.Dataset
+		var pk computePeek
 		if name == "" && d.BodyField != "" {
 			var err error
-			name, err = fleet.PeekBodyField(r, d.BodyField)
+			pk, err = peekCompute(r)
 			if err != nil {
 				fleet.WriteJSONError(w, http.StatusBadRequest, err)
 				return true
+			}
+			if d.BodyField == "name" {
+				name = pk.Name
+			} else {
+				name = pk.Graph
 			}
 		}
 		if name == "" {
 			return false // the handler will produce its usual 400/404
 		}
-		owner, ok := t.Owner(name)
-		if !ok || owner.Rank == t.Self() {
+		chain := t.Replicas(name, len(t.Members())) // all live, preference order
+		if len(chain) == 0 || chain[0].Rank == t.Self() {
 			return false
 		}
-		s.proxy.Forward(w, r, owner)
+		if k := s.cfg.Replicas; k > 1 {
+			if op := replicaOp(r.Method, r.URL.Path); op != "" {
+				// Replica placement follows the cache key's preference chain
+				// (that is where Put lands pushes), not the dataset name's.
+				if fkey, ok := s.st.FleetKeyFor(name, op, pk.Params); ok && s.st.CachedLocally(name, op, pk.Params) {
+					for _, m := range t.Replicas(fkey, k) {
+						if m.Rank == t.Self() {
+							return false // replica-local hit: serve it here
+						}
+					}
+				}
+			}
+		}
+		if len(chain) > 3 {
+			chain = chain[:3] // bound the failover walk; retries are capped anyway
+		}
+		s.proxy.ForwardChain(w, r, chain)
 		return true
 	default: // RouteLocal, RouteAny
 		return false
@@ -138,6 +256,60 @@ func (s *Server) handleFleetCachePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleFleetConfig is POST /v2/fleet/config: swap in a newer placement
+// view. Rejections (stale epoch, invalid members, a view that would
+// orphan this node) are 409s carrying the current view, so a pushing
+// peer converges instead of flying blind.
+func (s *Server) handleFleetConfig(w http.ResponseWriter, r *http.Request) {
+	t := s.cfg.Fleet
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet mode is not enabled (start with -peers)"))
+		return
+	}
+	fleet.HandleConfigPush(t, w, r)
+}
+
+// handleFleetDrain is POST /v2/fleet/drain: flip this node to draining
+// (readyz 503, new compute work rejected with the classified 503), then
+// in the background wait for in-flight work, pre-warm the successors'
+// caches with the hot fleet entries, and hand control to Config.OnDrain
+// (the daemon exits clean). Idempotent — a second drain request reports
+// the drain already in progress.
+func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Fleet == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet mode is not enabled (start with -peers)"))
+		return
+	}
+	if s.draining.Swap(true) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "already draining"})
+		return
+	}
+	timeout := s.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := s.st.WaitIdle(ctx); err != nil && s.cfg.Log != nil {
+			s.cfg.Log.Printf("fleet: drain proceeding with work still in flight: %v", err)
+		}
+		warmed := s.st.PrewarmSuccessors(drainPrewarmMax)
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("fleet: drain complete, pre-warmed %d cache entries onto successors", warmed)
+		}
+		if s.cfg.OnDrain != nil {
+			s.cfg.OnDrain()
+		}
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}
+
+// drainPrewarmMax caps how many hot fleet-cache entries a draining node
+// hands to its successors — enough to keep the working set warm, bounded
+// so drain latency stays dominated by in-flight work, not cache size.
+const drainPrewarmMax = 64
+
 // ReadyCheck is one readiness probe's outcome.
 type ReadyCheck struct {
 	Name   string `json:"name"`
@@ -147,12 +319,16 @@ type ReadyCheck struct {
 
 // ReadyResponse is the GET /readyz payload.
 type ReadyResponse struct {
-	Status string       `json:"status"` // "ready" | "unready"
+	Status string       `json:"status"` // "ready" | "unready" | "draining"
 	Checks []ReadyCheck `json:"checks"`
 	// Fleet is informational: readiness never depends on peers (two nodes
 	// each waiting for the other to become ready would deadlock a rolling
 	// restart), but operators and the front door want the view.
 	Fleet []fleet.MemberStatus `json:"fleet,omitempty"`
+	// View advertises this node's placement view. Probes parse it, so a
+	// node that missed a config push adopts the newer view within one
+	// probe interval (anti-entropy).
+	View *fleet.View `json:"view,omitempty"`
 }
 
 // blobPinger is the optional deep-reachability probe a blob backend may
@@ -163,9 +339,9 @@ type blobPinger interface {
 }
 
 // handleReadyz is the readiness probe: 200 only when this node can
-// actually serve (catalog directory present, blob tier answering).
-// /healthz stays pure liveness — the process is up — so an unready node
-// is routed around, not restarted.
+// actually serve (catalog directory present, blob tier answering, not
+// draining). /healthz stays pure liveness — the process is up — so an
+// unready node is routed around, not restarted.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	resp := ReadyResponse{Status: "ready"}
 	if cat := s.cfg.Datasets; cat != nil {
@@ -189,6 +365,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	if t := s.cfg.Fleet; t != nil {
 		resp.Fleet = t.Snapshot()
+		v := t.View()
+		resp.View = &v
 	}
 	status := http.StatusOK
 	for _, c := range resp.Checks {
@@ -198,6 +376,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	if s.draining.Load() {
+		// Draining outranks ready: the prober must route new work away
+		// while the node finishes what it has.
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
 	writeJSON(w, status, resp)
 }
 
@@ -205,6 +389,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // with ?dataset=<name> — where that dataset's queries land.
 type FleetInfoResponse struct {
 	Self    int                  `json:"self"`
+	Epoch   uint64               `json:"epoch"`
 	Members []fleet.MemberStatus `json:"members"`
 	Dataset string               `json:"dataset,omitempty"`
 	// Owner is the dataset's current owner under this node's health view.
@@ -219,7 +404,7 @@ func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("fleet mode is not enabled (start with -peers)"))
 		return
 	}
-	resp := FleetInfoResponse{Self: t.Self(), Members: t.Snapshot()}
+	resp := FleetInfoResponse{Self: t.Self(), Epoch: t.Epoch(), Members: t.Snapshot()}
 	if ds := r.URL.Query().Get("dataset"); ds != "" {
 		resp.Dataset = ds
 		resp.Preference = t.Preference(ds)

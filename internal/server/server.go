@@ -92,6 +92,8 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"graphdiam/internal/dataset"
 	"graphdiam/internal/fleet"
@@ -131,6 +133,19 @@ type Config struct {
 	// compute-cost requests (429 + Retry-After when a tenant's token
 	// bucket empties).
 	Quotas *fleet.Quotas
+	// Replicas is the read replication factor k: a node that is one of a
+	// dataset's top-k live preference members serves v1 computes from its
+	// local cache instead of forwarding to the owner. Values <= 1 keep
+	// owner-only serving.
+	Replicas int
+	// OnDrain is called once a POST /v2/fleet/drain sequence finishes
+	// (in-flight work done, successors pre-warmed); the daemon uses it to
+	// begin its graceful shutdown. nil leaves the process running in the
+	// draining state.
+	OnDrain func()
+	// DrainTimeout bounds how long a drain waits for in-flight work
+	// before pre-warming and handing off anyway. Default 30s.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,10 +157,11 @@ func (c Config) withDefaults() Config {
 
 // Server is an http.Handler serving the v1 API on top of a store.
 type Server struct {
-	st    *store.Store
-	cfg   Config
-	mux   *http.ServeMux
-	proxy *fleet.Proxy // non-nil iff cfg.Fleet is set
+	st       *store.Store
+	cfg      Config
+	mux      *http.ServeMux
+	proxy    *fleet.Proxy // non-nil iff cfg.Fleet is set
+	draining atomic.Bool  // set by POST /v2/fleet/drain, surfaced in /readyz
 }
 
 // New builds the API handler around st.
@@ -154,6 +170,7 @@ func New(st *store.Store, cfg Config) *Server {
 	if s.cfg.Fleet != nil {
 		s.proxy = &fleet.Proxy{
 			Transport: s.cfg.FleetTransport,
+			Table:     s.cfg.Fleet,
 			SelfRank:  s.cfg.Fleet.Self(),
 		}
 		if s.cfg.Log != nil {
@@ -187,6 +204,8 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/cache/{key}", s.handleFleetCacheGet)
 	s.mux.HandleFunc("PUT /v2/cache/{key}", s.handleFleetCachePut)
 	s.mux.HandleFunc("GET /v2/fleet", s.handleFleetInfo)
+	s.mux.HandleFunc("POST /v2/fleet/config", s.handleFleetConfig)
+	s.mux.HandleFunc("POST /v2/fleet/drain", s.handleFleetDrain)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Pure liveness: the process is up. Readiness lives at /readyz.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -196,14 +215,23 @@ func New(st *store.Store, cfg Config) *Server {
 }
 
 // ServeHTTP implements http.Handler. The middleware order is deliberate:
-// request ID first (every log line and error carries it), admission
-// control before body limits (reject over-rate tenants before reading
-// their bytes), body limits before routing (a peeked routing field must
-// ride the same cap the handler would), routing last.
+// request ID first (every log line and error carries it), epoch
+// enforcement before anything acts on placement (a mis-epoched hop must
+// never be answered), the draining gate before admission (rejected work
+// must not charge a tenant), admission control before body limits
+// (reject over-rate tenants before reading their bytes), body limits
+// before routing (a peeked routing field must ride the same cap the
+// handler would), routing last.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := s.requestID(w, r)
 	if s.cfg.Log != nil {
 		s.cfg.Log.Printf("%s %s rid=%s", r.Method, r.URL.Path, rid)
+	}
+	if !s.checkEpoch(w, r) {
+		return
+	}
+	if !s.checkDraining(w, r) {
+		return
 	}
 	if !s.admit(w, r) {
 		return

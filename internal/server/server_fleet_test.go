@@ -34,14 +34,27 @@ type fleetDaemon struct {
 	url   string
 }
 
+// fleetTestOptions tunes the daemons newQueryFleet boots beyond the
+// defaults: read replication factor and drain wiring. Zero values leave
+// the defaults (k=1, no drain hook) in place.
+type fleetTestOptions struct {
+	Replicas     int
+	DrainTimeout time.Duration
+	OnDrain      func()
+}
+
 // newQueryFleet boots n daemons wired into one query plane: every daemon
 // knows every URL (listeners are created before the servers so the
 // shared member list exists up front), health is driven manually
 // (Interval 0) and everyone starts seeing everyone live. withCatalog
 // gives each daemon its own dataset catalog — fleet-cache tests ingest
 // the same bytes everywhere so content addressing aligns the nodes.
-func newQueryFleet(t *testing.T, n int, withCatalog bool) []*fleetDaemon {
+func newQueryFleet(t *testing.T, n int, withCatalog bool, opts ...fleetTestOptions) []*fleetDaemon {
 	t.Helper()
+	var opt fleetTestOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
 	listeners := make([]net.Listener, n)
 	urls := make([]string, n)
 	for i := range listeners {
@@ -60,13 +73,18 @@ func newQueryFleet(t *testing.T, n int, withCatalog bool) []*fleetDaemon {
 			t.Fatal(err)
 		}
 		d.tab = tab
-		d.cache = fleet.NewCache(tab, fleet.CacheOptions{})
+		d.cache = fleet.NewCache(tab, fleet.CacheOptions{Replicas: opt.Replicas})
 		scfg := store.Config{
 			MaxConcurrent: 4,
 			FleetCache:    d.cache,
 			Distributed:   &store.DistributedConfig{Rank: i, Peers: urls},
 		}
-		cfg := Config{Fleet: tab}
+		cfg := Config{
+			Fleet:        tab,
+			Replicas:     opt.Replicas,
+			DrainTimeout: opt.DrainTimeout,
+			OnDrain:      opt.OnDrain,
+		}
 		if withCatalog {
 			cat, err := dataset.Open(filepath.Join(t.TempDir(), fmt.Sprintf("node%d", i)), dataset.Options{})
 			if err != nil {

@@ -90,18 +90,18 @@ func (s *Store) FleetCachePut(fkey string, body []byte) error {
 	return nil
 }
 
-// FleetKeyFor renders the fleet cache key for an op against a registered
+// FleetKeyFor renders the fleet cache key for an op against a known
 // graph, or ok=false when the graph is not dataset-backed (ad-hoc
 // uploads have no fleet-stable identity). The server layer uses it to
-// answer "where would this query's result live fleet-wide".
+// answer "where would this query's result live fleet-wide". Like
+// CachedLocally, it resolves an unloaded dataset through the catalog
+// manifest so replica checks work before the graph's first local load.
 func (s *Store) FleetKeyFor(graphName, op string, p Params) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ge, ok := s.graphs[graphName]
-	if !ok || ge.sha == "" {
+	sha, ok := s.contentAddr(graphName)
+	if !ok {
 		return "", false
 	}
-	return FleetKey(ge.sha, op, p), true
+	return FleetKey(sha, op, p), true
 }
 
 // DatasetSHA reports the content address backing a registered graph, or

@@ -64,15 +64,20 @@ type Config struct {
 	FleetCache FleetCache
 }
 
-// FleetCache is the store's hook into the fleet-wide result cache. Both
+// FleetCache is the store's hook into the fleet-wide result cache. All
 // methods are best-effort: Get may probe several peers (bounded, with
 // timeouts) and Put may run in the background.
 type FleetCache interface {
 	// Get returns the JSON-encoded result cached anywhere in the fleet
 	// for key, if any peer holds it.
 	Get(ctx context.Context, key string) ([]byte, bool)
-	// Put advertises a freshly computed result to the fleet.
+	// Put advertises a freshly computed result to the fleet (the key's
+	// owner and, with replication factor k>1, its k-1 read replicas).
 	Put(key string, body []byte)
+	// PushSuccessor synchronously hands one cached entry to the first
+	// live non-self member of the key's preference chain — the drain
+	// path's cache pre-warming. Reports whether a successor accepted it.
+	PushSuccessor(key string, body []byte) bool
 }
 
 func (c Config) withDefaults() Config {
