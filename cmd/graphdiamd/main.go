@@ -64,6 +64,14 @@
 // matching front door for clients that should not pick a daemon
 // themselves.
 //
+// Observability: GET /metrics on the serving listener exposes the
+// daemon's full metric set (BSP supersteps, store cache/jobs, fleet
+// health and proxy traffic, per-route HTTP latency, Go runtime) in
+// Prometheus text format, and every request is logged as one structured
+// span line keyed by X-Request-Id. -debug-addr starts a second, private
+// listener carrying net/http/pprof plus a /metrics mirror — off by
+// default, and never to be exposed on a public interface.
+//
 // -preload accepts two value shapes: a generator spec ("usa=road:256",
 // see gen.FromSpec) or "name=file:/path" naming a graph file in any
 // supported format (edgelist, DIMACS, METIS, binary; gzip transparent;
@@ -79,7 +87,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -91,6 +101,7 @@ import (
 	"graphdiam/internal/dataset"
 	"graphdiam/internal/fleet"
 	"graphdiam/internal/gen"
+	"graphdiam/internal/obs"
 	"graphdiam/internal/server"
 	"graphdiam/internal/store"
 )
@@ -157,12 +168,23 @@ func main() {
 		fleetConfig   = flag.String("fleet-config", "", "JSON placement-view file ({\"epoch\",\"members\"}) reloaded on SIGHUP to swap fleet membership at runtime (requires -peers)")
 		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant admitted jobs/second (0 = admission control disabled)")
 		tenantBurst   = flag.Float64("tenant-burst", 0, "per-tenant job burst capacity (0 = max(1, -tenant-rate); requires -tenant-rate)")
+		debugAddr     = flag.String("debug-addr", "", "private listen address for pprof and a /metrics mirror, e.g. localhost:6060 (empty = disabled; never expose publicly)")
 		pre           preloads
 	)
 	flag.Var(&pre, "preload", "register a graph at boot as name=spec or name=file:/path (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "graphdiamd: ", log.LstdFlags)
+	slogger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// One registry serves the whole daemon: runtime gauges, the store and
+	// BSP families, the fleet families, and the server's per-route HTTP
+	// family all expose through GET /metrics on the public listener (and
+	// on -debug-addr when set).
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	storeMetrics := store.NewMetrics(reg)
+	fleetMetrics := fleet.NewMetrics(reg)
 
 	// Fleet boot-flag validation runs before anything opens: a rank
 	// outside -peers or a -blob-url pointing at this daemon's own peer
@@ -261,14 +283,15 @@ func main() {
 		var err error
 		ftab, err = fleet.NewTable(peers, *workerID, fleet.TableOptions{
 			Interval: interval,
-			Log:      logger,
+			Log:      slogger,
+			Metrics:  fleetMetrics,
 		})
 		if err != nil {
 			logger.Fatalf("fleet: %v", err)
 		}
 		ftab.Start()
 		defer ftab.Close()
-		fcache = fleet.NewCache(ftab, fleet.CacheOptions{Replicas: *replicas})
+		fcache = fleet.NewCache(ftab, fleet.CacheOptions{Replicas: *replicas, Metrics: fleetMetrics})
 		defer fcache.Close()
 		logger.Printf("fleet query plane: rank %d of %d, probing peers every %v, replication factor %d",
 			*workerID, len(peers), interval, *replicas)
@@ -280,6 +303,7 @@ func main() {
 		MaxJobs:       *maxJobs,
 		Catalog:       cat,
 		Distributed:   dist,
+		Metrics:       storeMetrics,
 	}
 	if fcache != nil {
 		scfg.FleetCache = fcache
@@ -312,6 +336,8 @@ func main() {
 		Fleet:           ftab,
 		Replicas:        *replicas,
 		DrainTimeout:    *drain,
+		Registry:        reg,
+		FleetMetrics:    fleetMetrics,
 	}
 	if ftab != nil {
 		var drainOnce sync.Once
@@ -322,7 +348,33 @@ func main() {
 		logger.Printf("admission control: %g jobs/s per tenant", *tenantRate)
 	}
 	if !*quiet {
-		cfg.Log = logger
+		cfg.Log = slogger
+	}
+
+	// The debug listener is deliberately a separate server on a separate
+	// (private) address: pprof handlers expose heap contents and must
+	// never ride the public mux. It mirrors /metrics so a scrape can stay
+	// entirely off the serving listener.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", reg.Handler())
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: *readHeaderTO,
+		}
+		defer dsrv.Close()
+		go func() {
+			logger.Printf("debug listener (pprof + /metrics) on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 	// No WriteTimeout: /v2/jobs/{id}/events streams SSE for the life of a
 	// job; IdleTimeout still reaps dead keep-alive connections and

@@ -23,8 +23,12 @@
 // sent one) that survives all routed hops for log correlation.
 //
 // The lb serves its own /healthz (process liveness), /readyz (ready when
-// at least one daemon is live), and /v2/fleet (its current placement
-// view); every other path is proxied.
+// at least one daemon is live), /v2/fleet (its current placement view),
+// and /metrics (Prometheus text exposition of the edge's per-route
+// request counters, proxy retry/failover traffic, probe flips, and Go
+// runtime gauges); every other path is proxied. -debug-addr starts a
+// second, private listener carrying net/http/pprof plus a /metrics
+// mirror — off by default, never to be exposed publicly.
 package main
 
 import (
@@ -34,8 +38,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +50,7 @@ import (
 	"time"
 
 	"graphdiam/internal/fleet"
+	"graphdiam/internal/obs"
 )
 
 func main() {
@@ -58,10 +65,12 @@ func main() {
 		readHeaderTO = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 		quiet        = flag.Bool("quiet", false, "disable request logging")
+		debugAddr    = flag.String("debug-addr", "", "private listen address for pprof and a /metrics mirror, e.g. localhost:6061 (empty = disabled; never expose publicly)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "graphdiamlb: ", log.LstdFlags)
+	slogger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *peerList == "" {
 		logger.Fatalf("-peers is required")
 	}
@@ -75,9 +84,16 @@ func main() {
 		logger.Fatalf("-probe-interval must be positive")
 	}
 
+	// The lb's registry mirrors the daemons' family names (http + fleet),
+	// so one scrape config and one dashboard cover both tiers.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	fleetMetrics := fleet.NewMetrics(reg)
+
 	table, err := fleet.NewTable(strings.Split(*peerList, ","), -1, fleet.TableOptions{
 		Interval: *probeEvery,
-		Log:      logger,
+		Log:      slogger,
+		Metrics:  fleetMetrics,
 	})
 	if err != nil {
 		logger.Fatalf("bad -peers: %v", err)
@@ -86,16 +102,42 @@ func main() {
 	defer table.Close()
 
 	lb := &frontDoor{
-		table:   table,
-		proxy:   &fleet.Proxy{SelfRank: -1, Table: table, ErrorLog: logger},
-		maxBody: *maxBody,
+		table:    table,
+		proxy:    &fleet.Proxy{SelfRank: -1, Table: table, Log: slogger, Metrics: fleetMetrics},
+		maxBody:  *maxBody,
+		metrics:  obs.NewHTTPMetrics(reg),
+		registry: reg,
 	}
 	if *tenantRate > 0 {
 		lb.quotas = fleet.NewQuotas(*tenantRate, *tenantBurst)
 		logger.Printf("admission control: %g jobs/s per tenant", *tenantRate)
 	}
 	if !*quiet {
-		lb.log = logger
+		lb.log = slogger
+	}
+
+	// Private pprof + /metrics mirror; see the graphdiamd flag of the same
+	// name. Never expose this listener publicly.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", reg.Handler())
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: *readHeaderTO,
+		}
+		defer dsrv.Close()
+		go func() {
+			logger.Printf("debug listener (pprof + /metrics) on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -133,11 +175,31 @@ func main() {
 // frontDoor is the lb's handler: admission control, then placement, then
 // a reverse-proxied forward.
 type frontDoor struct {
-	table   *fleet.Table
-	proxy   *fleet.Proxy
-	quotas  *fleet.Quotas
-	log     *log.Logger
-	maxBody int64
+	table    *fleet.Table
+	proxy    *fleet.Proxy
+	quotas   *fleet.Quotas
+	log      *slog.Logger
+	maxBody  int64
+	metrics  *obs.HTTPMetrics
+	registry *obs.Registry
+}
+
+// lbRoute labels a request for the lb's per-route metrics: the edge's
+// own endpoints by path, everything proxied by its placement class —
+// never the raw path, whose dataset/job segments are unbounded.
+func lbRoute(method, path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/v2/fleet", "/v2/fleet/config", "/metrics":
+		return path
+	}
+	switch fleet.Classify(method, path).Class {
+	case fleet.RouteDataset:
+		return "proxy_dataset"
+	case fleet.RouteJob:
+		return "proxy_job"
+	default:
+		return "proxy_other"
+	}
 }
 
 func (f *frontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -147,19 +209,42 @@ func (f *frontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r.Header.Set(fleet.RequestIDHeader, rid)
 	}
 	w.Header().Set(fleet.RequestIDHeader, rid)
+	route := lbRoute(r.Method, r.URL.Path)
+	done := f.metrics.Begin()
+	rec := obs.WrapWriter(w)
+	start := time.Now()
+	f.dispatch(rec, r)
+	elapsed := time.Since(start)
+	done(route, r.Method, rec.Code())
 	if f.log != nil {
-		f.log.Printf("%s %s rid=%s", r.Method, r.URL.Path, rid)
+		attrs := []any{
+			"route", route,
+			"method", r.Method,
+			"status", rec.Code(),
+			"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+			"request_id", rid,
+			"epoch", f.table.Epoch(),
+		}
+		if tenant := r.Header.Get(fleet.TenantHeader); tenant != "" {
+			attrs = append(attrs, "tenant", tenant)
+		}
+		f.log.Info("http request", attrs...)
 	}
+}
 
-	// The lb's own endpoints: liveness, readiness, placement view, and
-	// membership administration (a config push to the lb keeps the edge's
-	// placement in lockstep with the daemons it fronts).
+func (f *frontDoor) dispatch(w http.ResponseWriter, r *http.Request) {
+	// The lb's own endpoints: liveness, readiness, placement view, metrics,
+	// and membership administration (a config push to the lb keeps the
+	// edge's placement in lockstep with the daemons it fronts).
 	switch r.URL.Path {
 	case "/healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		return
 	case "/readyz":
 		f.serveReadyz(w)
+		return
+	case "/metrics":
+		f.registry.Handler().ServeHTTP(w, r)
 		return
 	case "/v2/fleet":
 		f.serveFleet(w, r)
@@ -255,6 +340,7 @@ func (f *frontDoor) admit(w http.ResponseWriter, r *http.Request) bool {
 	if secs < 1 {
 		secs = 1
 	}
+	f.metrics.Throttled(tenant)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	fleet.WriteJSONError(w, http.StatusTooManyRequests,
 		fmt.Errorf("tenant %q is over its admission rate; retry after %ds", tenant, secs))

@@ -104,8 +104,45 @@ type Engine struct {
 	ctx      context.Context // nil means context.Background (never cancelled)
 	critPath atomic.Int64    // ns; accumulated max per-step worker time
 	metrics  Metrics
+	tracer   Tracer      // nil disables wall-clock tracing (the default)
 	pool     *workerPool // lazily started; nil for sequential/simulated engines
 	dist     *distEngine // non-nil when workers span processes (see dist.go)
+}
+
+// Tracer receives wall-clock timings from an engine's supersteps and
+// transport exchanges. It exists so the observability layer can watch
+// the engine without this package importing it (any struct with these
+// methods satisfies it structurally). Implementations must be safe for
+// concurrent use; a nil tracer costs one branch per superstep, which is
+// what keeps the accounting benchmarks inside the regression gate.
+//
+// Tracing measures wall-clock only — it never touches Metrics, so the
+// paper's rounds/messages/updates accounting stays bit-identical whether
+// a tracer is attached or not.
+type Tracer interface {
+	// ObserveSuperstep reports one parallel step: compute is worker 0's
+	// busy time, barrier the extra time spent waiting for the slowest
+	// worker to reach the barrier.
+	ObserveSuperstep(compute, barrier time.Duration)
+	// ObserveComm reports one full transport exchange (mailbox delivery
+	// or collective) on a distributed engine.
+	ObserveComm(d time.Duration)
+	// ObserveAllreduce reports one scalar collective (global sums, ORs,
+	// argmins, snapshot cross-checks) — a subset of ObserveComm calls,
+	// timed separately because they bound the lockstep latency floor.
+	ObserveAllreduce(d time.Duration)
+}
+
+// SetTracer attaches t (nil detaches) and returns the engine for
+// chaining. Simulated engines ignore the tracer: their sequential
+// execution would report meaningless wall-clock splits, and they already
+// accumulate CriticalPath.
+func (e *Engine) SetTracer(t Tracer) *Engine {
+	e.tracer = t
+	if e.dist != nil {
+		e.dist.tracer = t
+	}
+	return e
 }
 
 // workerPool is the persistent execution crew of a concurrent engine:
@@ -369,6 +406,12 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 	}
 	if hi-lo == 1 {
 		start, end := e.Partition(n, lo)
+		if t := e.tracer; t != nil {
+			t0 := time.Now()
+			fn(lo, start, end)
+			t.ObserveSuperstep(time.Since(t0), 0)
+			return
+		}
 		fn(lo, start, end)
 		return
 	}
@@ -379,6 +422,31 @@ func (e *Engine) ParallelFor(n int, fn func(worker, start, end int)) {
 		runtime.SetFinalizer(e, (*Engine).Close)
 	}
 	if p := e.pool; p != nil {
+		if t := e.tracer; t != nil {
+			// Worker 0 runs on the dispatching goroutine, so its busy time
+			// is the step's compute sample and the remainder of the dispatch
+			// is barrier wait (how long the slowest worker held everyone).
+			// computeNS is written and read on this goroutine only.
+			var computeNS int64
+			t0 := time.Now()
+			p.dispatch(func(slot int) {
+				w := lo + slot
+				start, end := e.Partition(n, w)
+				if slot == 0 {
+					c0 := time.Now()
+					fn(w, start, end)
+					computeNS = int64(time.Since(c0))
+					return
+				}
+				fn(w, start, end)
+			})
+			barrierNS := int64(time.Since(t0)) - computeNS
+			if barrierNS < 0 {
+				barrierNS = 0
+			}
+			t.ObserveSuperstep(time.Duration(computeNS), time.Duration(barrierNS))
+			return
+		}
 		p.dispatch(func(slot int) {
 			w := lo + slot
 			start, end := e.Partition(n, w)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"graphdiam/internal/bsp/transport"
 )
@@ -34,6 +35,9 @@ type distEngine struct {
 	// err is the sticky first transport failure; once set, every subsequent
 	// engine operation no-ops and Err() reports it.
 	err error
+	// tracer mirrors Engine.tracer (set through SetTracer) so transport
+	// exchanges can be timed without a back-reference to the engine.
+	tracer Tracer
 }
 
 // splitRange returns the contiguous slice [lo, hi) of workers owned by peer
@@ -128,7 +132,14 @@ func (d *distEngine) netStep(out [][]byte) ([][]byte, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
+	var t0 time.Time
+	if d.tracer != nil {
+		t0 = time.Now()
+	}
 	in, err := d.tr.Step(d.step, out)
+	if d.tracer != nil {
+		d.tracer.ObserveComm(time.Since(t0))
+	}
 	d.step++
 	if err != nil {
 		d.err = err
@@ -160,7 +171,14 @@ func (d *distEngine) allgather(payload []byte) ([][]byte, error) {
 // allgatherFixed is allgather for fixed-size scalar payloads, validating
 // every peer sent exactly size bytes.
 func (d *distEngine) allgatherFixed(payload []byte, size int) ([][]byte, error) {
+	var t0 time.Time
+	if d.tracer != nil {
+		t0 = time.Now()
+	}
 	in, err := d.allgather(payload)
+	if d.tracer != nil {
+		d.tracer.ObserveAllreduce(time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,8 @@ type Cache struct {
 	maxBody int64
 	// replicas is how many preference-chain members receive a Put.
 	replicas int
+	// metrics observes probe outcomes; nil disables.
+	metrics *Metrics
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -64,6 +66,8 @@ type CacheOptions struct {
 	// in the count — it already holds the result locally). Default 1
 	// (owner only).
 	Replicas int
+	// Metrics observes probe outcomes; nil disables metric recording.
+	Metrics *Metrics
 }
 
 // NewCache builds the fleet cache client over a membership table.
@@ -90,6 +94,7 @@ func NewCache(t *Table, opts CacheOptions) *Cache {
 		maxProbes: opts.MaxProbes,
 		maxBody:   opts.MaxBody,
 		replicas:  opts.Replicas,
+		metrics:   opts.Metrics,
 	}
 }
 
@@ -117,6 +122,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool) {
 		}
 		probed++
 		b, outcome := c.probe(ctx, m.URL, key)
+		c.metrics.CacheProbe(outcome)
 		if outcome == probeTransient {
 			// One jittered retry before giving up on this peer: flaky is
 			// not dead, and the owner is by far the most likely holder.
@@ -126,6 +132,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool) {
 				return nil, false
 			}
 			b, outcome = c.probe(ctx, m.URL, key)
+			c.metrics.CacheProbe(outcome)
 		}
 		if outcome == probeHit {
 			return b, true

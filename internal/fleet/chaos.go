@@ -37,6 +37,8 @@ type ChaosTransport struct {
 	DelayProb float64
 	// Delay is the injected latency for delayed attempts. Default 5ms.
 	Delay time.Duration
+	// Metrics observes injected faults by kind; nil disables.
+	Metrics *Metrics
 
 	mu       sync.Mutex
 	attempts map[string]uint64
@@ -59,10 +61,11 @@ func (c *ChaosTransport) Faults() uint64 {
 	return c.faults
 }
 
-func (c *ChaosTransport) recordFault() {
+func (c *ChaosTransport) recordFault(kind string) {
 	c.mu.Lock()
 	c.faults++
 	c.mu.Unlock()
+	c.Metrics.ChaosFault(kind)
 }
 
 // RoundTrip applies the seeded fault schedule to one attempt.
@@ -88,7 +91,7 @@ func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 	}
 	if c.DropProb > 0 && chaosRoll(c.Seed, key, attempt, 0) < c.DropProb {
-		c.recordFault()
+		c.recordFault("drop")
 		return nil, fmt.Errorf("chaos: dropped %s (attempt %d)", key, attempt)
 	}
 
@@ -102,7 +105,7 @@ func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 
 	if c.FailProb > 0 && chaosRoll(c.Seed, key, attempt, 1) < c.FailProb {
-		c.recordFault()
+		c.recordFault("500")
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		body := []byte(`{"error":"chaos: injected internal error"}`)
@@ -119,7 +122,7 @@ func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}, nil
 	}
 	if c.CutProb > 0 && chaosRoll(c.Seed, key, attempt, 2) < c.CutProb {
-		c.recordFault()
+		c.recordFault("cut")
 		resp.Body = &cutBody{rc: resp.Body}
 		resp.ContentLength = -1
 		resp.Header.Del("Content-Length")

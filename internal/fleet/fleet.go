@@ -26,7 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -71,8 +71,12 @@ type TableOptions struct {
 	FlipThreshold int
 	// Client performs health probes; nil selects http.DefaultClient.
 	Client *http.Client
-	// Log receives membership transitions; nil disables logging.
-	Log *log.Logger
+	// Log receives membership transitions as structured records (rank,
+	// url, epoch fields); nil disables logging.
+	Log *slog.Logger
+	// Metrics observes probe flips, epoch adoptions, and live-member
+	// counts; nil disables metric recording.
+	Metrics *Metrics
 }
 
 // Table is the fleet membership view of one node: the epoch-stamped
@@ -131,7 +135,25 @@ func NewTable(urls []string, self int, opts TableOptions) (*Table, error) {
 		return nil, err
 	}
 	t.cur.Store(v)
+	t.opts.Metrics.SetEpoch(v.epoch)
+	t.noteHealth(v)
 	return t, nil
+}
+
+// noteHealth refreshes the live-member gauge from one view's health
+// column. Called after any flip or view swap; cheap (one pass, atomic
+// loads), so it rides the transition paths rather than scrape time.
+func (t *Table) noteHealth(v *tableView) {
+	if t.opts.Metrics == nil {
+		return
+	}
+	n := 0
+	for i := range v.health {
+		if v.health[i].live.Load() {
+			n++
+		}
+	}
+	t.opts.Metrics.SetLiveMembers(n)
 }
 
 // NormalizePeers canonicalizes a -peers list: whitespace trimmed, one
@@ -220,12 +242,13 @@ func (t *Table) SetLive(rank int, live bool) {
 	h := v.health[rank]
 	h.contrary.Store(0)
 	was := h.live.Swap(live)
-	if was != live && t.opts.Log != nil {
-		state := "down"
-		if live {
-			state = "up"
+	if was != live {
+		t.opts.Metrics.ProbeFlip(live)
+		t.noteHealth(v)
+		if t.opts.Log != nil {
+			t.opts.Log.Info("fleet member health overridden",
+				"rank", rank, "url", v.members[rank].URL, "live", live, "epoch", v.epoch)
 		}
-		t.opts.Log.Printf("fleet: member %d (%s) is %s", rank, v.members[rank].URL, state)
 	}
 }
 
@@ -247,8 +270,13 @@ func (t *Table) reportProbe(v *tableView, rank int, up bool) {
 		// Single-success recovery: a dead member answering readyz is
 		// immediately eligible again.
 		h.contrary.Store(0)
-		if !h.live.Swap(true) && t.opts.Log != nil {
-			t.opts.Log.Printf("fleet: member %d (%s) is up", rank, v.members[rank].URL)
+		if !h.live.Swap(true) {
+			t.opts.Metrics.ProbeFlip(true)
+			t.noteHealth(v)
+			if t.opts.Log != nil {
+				t.opts.Log.Info("fleet member up",
+					"rank", rank, "url", v.members[rank].URL, "epoch", v.epoch)
+			}
 		}
 		return
 	}
@@ -256,9 +284,14 @@ func (t *Table) reportProbe(v *tableView, rank int, up bool) {
 		return // within hysteresis: keep serving through a blip
 	}
 	h.contrary.Store(0)
-	if h.live.Swap(false) && t.opts.Log != nil {
-		t.opts.Log.Printf("fleet: member %d (%s) is down after %d consecutive probe failures",
-			rank, v.members[rank].URL, t.opts.FlipThreshold)
+	if h.live.Swap(false) {
+		t.opts.Metrics.ProbeFlip(false)
+		t.noteHealth(v)
+		if t.opts.Log != nil {
+			t.opts.Log.Warn("fleet member down",
+				"rank", rank, "url", v.members[rank].URL,
+				"consecutive_failures", t.opts.FlipThreshold, "epoch", v.epoch)
+		}
 	}
 }
 

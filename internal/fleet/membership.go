@@ -147,9 +147,12 @@ func (t *Table) SwapView(v View) error {
 		return err
 	}
 	t.cur.Store(nv)
+	t.opts.Metrics.EpochAdopted()
+	t.opts.Metrics.SetEpoch(nv.epoch)
+	t.noteHealth(nv)
 	if t.opts.Log != nil {
-		t.opts.Log.Printf("fleet: placement view swapped to epoch %d (%d members, self rank %d)",
-			nv.epoch, len(nv.members), nv.self)
+		t.opts.Log.Info("fleet placement view swapped",
+			"epoch", nv.epoch, "members", len(nv.members), "self_rank", nv.self)
 	}
 	return nil
 }
@@ -164,7 +167,8 @@ func (t *Table) AdoptIfNewer(v View) bool {
 	}
 	if err := t.SwapView(v); err != nil {
 		if t.opts.Log != nil {
-			t.opts.Log.Printf("fleet: refusing advertised view epoch %d: %v", v.Epoch, err)
+			t.opts.Log.Warn("fleet refusing advertised view",
+				"epoch", v.Epoch, "error", err.Error())
 		}
 		return false
 	}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"time"
+
+	"graphdiam/internal/obs"
+)
+
+// Metrics is the fleet layer's observability bundle: probe hysteresis
+// flips, epoch lifecycle (adoptions and 409 repairs), proxy retry and
+// failover traffic, fleet-cache probe outcomes, chaos-classified faults,
+// replica-local serves, and drain phase durations. A nil *Metrics is a
+// valid no-op — every method checks, so the Table, Cache, Proxy, and
+// ChaosTransport instrument unconditionally and wiring decides.
+//
+// Recording methods are exported because the server layer shares the
+// bundle: it records the fleet events only it can see (409s it writes,
+// replica-local serves, drain phases) into the same families.
+type Metrics struct {
+	probeFlips         *obs.CounterVec // direction: up | down
+	epoch              *obs.Gauge
+	liveMembers        *obs.Gauge
+	epochAdoptions     *obs.Counter
+	epochMismatches    *obs.Counter
+	proxyAttempts      *obs.Counter
+	proxyRetries       *obs.CounterVec // reason: epoch | draining | net
+	proxyFailoverHops  *obs.Counter
+	cacheProbes        *obs.CounterVec // outcome: hit | miss | transient
+	chaosFaults        *obs.CounterVec // kind: drop | 500 | cut
+	replicaLocalServes *obs.Counter
+	drainSeconds       *obs.HistogramVec // phase: wait_idle | prewarm
+}
+
+// NewMetrics registers the graphdiam_fleet_* family on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		probeFlips: r.CounterVec("graphdiam_fleet_probe_flips_total",
+			"Member liveness transitions that cleared the hysteresis filter, by direction.",
+			"direction"),
+		epoch: r.Gauge("graphdiam_fleet_epoch",
+			"Epoch of the placement view currently routing requests."),
+		liveMembers: r.Gauge("graphdiam_fleet_live_members",
+			"Members of the current view observed live."),
+		epochAdoptions: r.Counter("graphdiam_fleet_epoch_adoptions_total",
+			"Placement view swaps accepted (config push, SIGHUP, or anti-entropy adoption)."),
+		epochMismatches: r.Counter("graphdiam_fleet_epoch_mismatches_total",
+			"Mis-epoched fleet hops this node rejected with a classified 409."),
+		proxyAttempts: r.Counter("graphdiam_fleet_proxy_attempts_total",
+			"Outbound forwarding attempts by the owner-routing proxy."),
+		proxyRetries: r.CounterVec("graphdiam_fleet_proxy_retries_total",
+			"Proxy attempts that were rejected and retried or failed over, by rejection class.",
+			"reason"),
+		proxyFailoverHops: r.Counter("graphdiam_fleet_proxy_failover_hops_total",
+			"Times the proxy advanced to the next preference-chain member."),
+		cacheProbes: r.CounterVec("graphdiam_fleet_cache_probes_total",
+			"Fleet result-cache peer probes, by outcome.", "outcome"),
+		chaosFaults: r.CounterVec("graphdiam_fleet_chaos_faults_total",
+			"Faults injected by the chaos transport, by kind.", "kind"),
+		replicaLocalServes: r.Counter("graphdiam_fleet_replica_local_serves_total",
+			"Queries served locally because this node is a warm top-k replica for the key."),
+		drainSeconds: r.HistogramVec("graphdiam_fleet_drain_seconds",
+			"Graceful-drain phase durations.", obs.DefBuckets, "phase"),
+	}
+}
+
+// ProbeFlip records one hysteresis-cleared liveness transition.
+func (m *Metrics) ProbeFlip(up bool) {
+	if m == nil {
+		return
+	}
+	if up {
+		m.probeFlips.With("up").Inc()
+	} else {
+		m.probeFlips.With("down").Inc()
+	}
+}
+
+// SetEpoch records the epoch of the view now routing requests.
+func (m *Metrics) SetEpoch(epoch uint64) {
+	if m != nil {
+		m.epoch.Set(float64(epoch))
+	}
+}
+
+// SetLiveMembers records the current live-member count.
+func (m *Metrics) SetLiveMembers(n int) {
+	if m != nil {
+		m.liveMembers.Set(float64(n))
+	}
+}
+
+// EpochAdopted counts one accepted view swap.
+func (m *Metrics) EpochAdopted() {
+	if m != nil {
+		m.epochAdoptions.Inc()
+	}
+}
+
+// EpochMismatchRejected counts one classified 409 this node wrote.
+func (m *Metrics) EpochMismatchRejected() {
+	if m != nil {
+		m.epochMismatches.Inc()
+	}
+}
+
+// ProxyAttempt counts one outbound forwarding attempt.
+func (m *Metrics) ProxyAttempt() {
+	if m != nil {
+		m.proxyAttempts.Inc()
+	}
+}
+
+// ProxyRetry counts one rejected attempt by its classification.
+func (m *Metrics) ProxyRetry(reason string) {
+	if m != nil {
+		m.proxyRetries.With(reason).Inc()
+	}
+}
+
+// ProxyFailoverHop counts one advance along the preference chain.
+func (m *Metrics) ProxyFailoverHop() {
+	if m != nil {
+		m.proxyFailoverHops.Inc()
+	}
+}
+
+// CacheProbe records one fleet-cache peer probe outcome.
+func (m *Metrics) CacheProbe(o probeOutcome) {
+	if m == nil {
+		return
+	}
+	switch o {
+	case probeHit:
+		m.cacheProbes.With("hit").Inc()
+	case probeMiss:
+		m.cacheProbes.With("miss").Inc()
+	default:
+		m.cacheProbes.With("transient").Inc()
+	}
+}
+
+// ChaosFault records one injected fault by kind ("drop", "500", "cut").
+func (m *Metrics) ChaosFault(kind string) {
+	if m != nil {
+		m.chaosFaults.With(kind).Inc()
+	}
+}
+
+// ReplicaLocalServe counts one query answered from the local warm
+// replica instead of being routed to the owner.
+func (m *Metrics) ReplicaLocalServe() {
+	if m != nil {
+		m.replicaLocalServes.Inc()
+	}
+}
+
+// DrainPhase records the duration of one graceful-drain phase
+// ("wait_idle", "prewarm").
+func (m *Metrics) DrainPhase(phase string, d time.Duration) {
+	if m != nil {
+		m.drainSeconds.With(phase).ObserveDuration(d)
+	}
+}

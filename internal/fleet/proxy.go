@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httputil"
@@ -49,8 +50,12 @@ type Proxy struct {
 	// RetryBase is the backoff unit between attempts; each retry sleeps
 	// base·2^n plus up to one extra base of jitter. Default 25ms.
 	RetryBase time.Duration
-	// ErrorLog receives forwarding failures; nil disables logging.
-	ErrorLog interface{ Printf(string, ...any) }
+	// Log receives forwarding failures as structured records (target,
+	// class, request_id fields); nil disables logging.
+	Log *slog.Logger
+	// Metrics observes attempts, classified retries, and failover hops;
+	// nil disables metric recording.
+	Metrics *Metrics
 }
 
 // hopReject classifies one failed forwarding attempt. It travels through
@@ -132,9 +137,15 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, chain []Member, 
 	var lastErr error
 	for ci := 0; ci < len(chain) && attempts < p.maxAttempts(); ci++ {
 		target := chain[ci]
+		if ci > 0 {
+			// The loop condition guarantees at least one attempt follows,
+			// so every hop counted here carried real traffic.
+			p.Metrics.ProxyFailoverHop()
+		}
 		epochRetries := 0
 		for attempts < p.maxAttempts() {
 			attempts++
+			p.Metrics.ProxyAttempt()
 			rej := p.attempt(w, r, target, body, failover)
 			if rej == nil {
 				return // response relayed (success or a terminal status)
@@ -142,14 +153,17 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, chain []Member, 
 			lastErr = rej
 			switch rej.class {
 			case ErrClassEpochMismatch:
+				p.Metrics.ProxyRetry("epoch")
 				// Repair the divergence, then retry the same member: adopt
 				// the receiver's newer view, or push ours to a lagging
 				// receiver so the retry lands on a converged pair.
 				if p.Table != nil {
 					if !p.Table.AdoptIfNewer(rej.view) && rej.view.Epoch < p.Table.Epoch() {
 						client := &http.Client{Transport: p.Transport, Timeout: 5 * time.Second}
-						if err := PushView(client, target.URL, p.Table.View()); err != nil && p.ErrorLog != nil {
-							p.ErrorLog.Printf("fleet: view push to lagging member %s failed: %v", target.URL, err)
+						if err := PushView(client, target.URL, p.Table.View()); err != nil && p.Log != nil {
+							p.Log.Warn("fleet view push to lagging member failed",
+								"target", target.URL, "error", err.Error(),
+								"request_id", r.Header.Get(RequestIDHeader))
 						}
 					}
 				}
@@ -162,8 +176,10 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, chain []Member, 
 				p.backoff(r, attempts)
 				continue // same target
 			case ErrClassDraining:
+				p.Metrics.ProxyRetry("draining")
 				retryable = true
 			default:
+				p.Metrics.ProxyRetry("net")
 				// Transport error before the first response byte (a rejection
 				// always means nothing was written): the member just died or
 				// restarted and the prober has not caught up yet. That is a
@@ -171,8 +187,11 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, chain []Member, 
 				// chain member (or a client retry) will land somewhere live.
 				retryable = true
 			}
-			if p.ErrorLog != nil {
-				p.ErrorLog.Printf("fleet: proxy to %s failed: %v", target.URL, rej)
+			if p.Log != nil {
+				p.Log.Warn("fleet proxy attempt failed",
+					"target", target.URL, "class", rej.class,
+					"request_id", r.Header.Get(RequestIDHeader),
+					"error", rej.Error())
 			}
 			p.backoff(r, attempts)
 			break // next member in the chain (or exhaustion)

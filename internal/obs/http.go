@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the per-route serving bundle shared by graphdiamd and
+// graphdiamlb: request counts, latency histograms, an in-flight gauge,
+// and per-tenant throttle counts. A nil *HTTPMetrics is a valid no-op —
+// callers instrument unconditionally and wiring decides.
+type HTTPMetrics struct {
+	requests  *CounterVec   // route, method, code
+	seconds   *HistogramVec // route
+	inflight  *Gauge
+	throttled *CounterVec // tenant
+}
+
+// NewHTTPMetrics registers the graphdiam_http_* family on r.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec("graphdiam_http_requests_total",
+			"HTTP requests served, by route pattern, method, and status code.",
+			"route", "method", "code"),
+		seconds: r.HistogramVec("graphdiam_http_request_seconds",
+			"HTTP request latency by route pattern.", DefBuckets, "route"),
+		inflight: r.Gauge("graphdiam_http_inflight",
+			"Requests currently being served."),
+		throttled: r.CounterVec("graphdiam_http_throttled_total",
+			"Requests rejected 429 by the per-tenant token bucket.", "tenant"),
+	}
+}
+
+// Begin marks a request in flight; the returned func observes the
+// terminal status and latency. Usage: done := m.Begin(); ... done(route, method, code).
+func (m *HTTPMetrics) Begin() func(route, method string, code int) {
+	if m == nil {
+		return func(string, string, int) {}
+	}
+	m.inflight.Inc()
+	start := time.Now()
+	return func(route, method string, code int) {
+		m.inflight.Dec()
+		m.requests.With(route, method, strconv.Itoa(code)).Inc()
+		m.seconds.With(route).ObserveDuration(time.Since(start))
+	}
+}
+
+// Throttled counts one 429 for the tenant.
+func (m *HTTPMetrics) Throttled(tenant string) {
+	if m == nil {
+		return
+	}
+	m.throttled.With(tenant).Inc()
+}
+
+// StatusRecorder wraps a ResponseWriter to capture the status code while
+// passing Flush through — the SSE job-events stream type-asserts
+// http.Flusher on the writer it is handed, so the wrapper must keep
+// satisfying it.
+type StatusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+// WrapWriter returns w wrapped for status capture.
+func WrapWriter(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+// WriteHeader records the first status code written.
+func (r *StatusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write implies 200 on first write without an explicit header.
+func (r *StatusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.code = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (r *StatusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Code reports the status written, defaulting to 200 for handlers that
+// never wrote (a bare return after hijack-free success).
+func (r *StatusRecorder) Code() int {
+	if !r.wrote {
+		return http.StatusOK
+	}
+	return r.code
+}

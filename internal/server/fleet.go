@@ -59,6 +59,7 @@ func (s *Server) checkEpoch(w http.ResponseWriter, r *http.Request) bool {
 	if !ok || e == t.Epoch() {
 		return true
 	}
+	s.cfg.FleetMetrics.EpochMismatchRejected()
 	fleet.WriteEpochMismatch(w, strconv.FormatUint(e, 10), t.View())
 	return false
 }
@@ -99,6 +100,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if secs < 1 {
 		secs = 1
 	}
+	s.metrics.Throttled(tenant)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeError(w, http.StatusTooManyRequests,
 		fmt.Errorf("tenant %q is over its admission rate; retry after %ds", tenant, secs))
@@ -211,6 +213,7 @@ func (s *Server) routeAway(w http.ResponseWriter, r *http.Request) bool {
 				if fkey, ok := s.st.FleetKeyFor(name, op, pk.Params); ok && s.st.CachedLocally(name, op, pk.Params) {
 					for _, m := range t.Replicas(fkey, k) {
 						if m.Rank == t.Self() {
+							s.cfg.FleetMetrics.ReplicaLocalServe()
 							return false // replica-local hit: serve it here
 						}
 					}
@@ -291,12 +294,18 @@ func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
+		t0 := time.Now()
 		if err := s.st.WaitIdle(ctx); err != nil && s.cfg.Log != nil {
-			s.cfg.Log.Printf("fleet: drain proceeding with work still in flight: %v", err)
+			s.cfg.Log.Warn("fleet drain proceeding with work still in flight",
+				"error", err.Error(), "waited_ms", durationMS(time.Since(t0)))
 		}
+		s.cfg.FleetMetrics.DrainPhase("wait_idle", time.Since(t0))
+		t1 := time.Now()
 		warmed := s.st.PrewarmSuccessors(drainPrewarmMax)
+		s.cfg.FleetMetrics.DrainPhase("prewarm", time.Since(t1))
 		if s.cfg.Log != nil {
-			s.cfg.Log.Printf("fleet: drain complete, pre-warmed %d cache entries onto successors", warmed)
+			s.cfg.Log.Info("fleet drain complete",
+				"prewarmed_entries", warmed, "duration_ms", durationMS(time.Since(t0)))
 		}
 		if s.cfg.OnDrain != nil {
 			s.cfg.OnDrain()

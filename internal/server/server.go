@@ -17,6 +17,8 @@
 //	GET    /healthz            liveness probe (the process is up)
 //	GET    /readyz             readiness probe (catalog present, blob
 //	                           tier reachable; fleet view attached)
+//	GET    /metrics            Prometheus text exposition (mounted when
+//	                           Config.Registry is set)
 //
 //	POST   /v2/jobs            submit an asynchronous computation
 //	                           ({"op":"decompose"|"diameter","graph",...params})
@@ -89,7 +91,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -100,6 +102,7 @@ import (
 	"graphdiam/internal/gen"
 	"graphdiam/internal/gio"
 	"graphdiam/internal/graph"
+	"graphdiam/internal/obs"
 	"graphdiam/internal/store"
 )
 
@@ -114,8 +117,16 @@ type Config struct {
 	// targets — the general cap would reject them mid-stream. 0 means
 	// unlimited: the catalog's own byte budget is the backstop.
 	MaxDatasetBytes int64
-	// Log receives one line per request; nil disables request logging.
-	Log *log.Logger
+	// Log receives one structured span record per request (route, status,
+	// duration, request_id, tenant, epoch); nil disables request logging.
+	Log *slog.Logger
+	// Registry, when non-nil, mounts GET /metrics (Prometheus text
+	// exposition) and registers the server's graphdiam_http_* family on it.
+	Registry *obs.Registry
+	// FleetMetrics is the fleet-layer observability bundle shared with the
+	// Table/Proxy/Cache; the server records the fleet events only it sees
+	// (classified 409s, replica-local serves, drain phases). nil disables.
+	FleetMetrics *fleet.Metrics
 	// Datasets, when non-nil, enables the /v2/datasets catalog endpoints.
 	// It should be the same catalog the store was configured with so
 	// ingested datasets are lazily loadable by queries.
@@ -160,21 +171,25 @@ type Server struct {
 	st       *store.Store
 	cfg      Config
 	mux      *http.ServeMux
-	proxy    *fleet.Proxy // non-nil iff cfg.Fleet is set
-	draining atomic.Bool  // set by POST /v2/fleet/drain, surfaced in /readyz
+	proxy    *fleet.Proxy     // non-nil iff cfg.Fleet is set
+	metrics  *obs.HTTPMetrics // non-nil iff cfg.Registry is set
+	draining atomic.Bool      // set by POST /v2/fleet/drain, surfaced in /readyz
 }
 
 // New builds the API handler around st.
 func New(st *store.Store, cfg Config) *Server {
 	s := &Server{st: st, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	if s.cfg.Registry != nil {
+		s.metrics = obs.NewHTTPMetrics(s.cfg.Registry)
+		s.mux.Handle("GET /metrics", s.cfg.Registry.Handler())
+	}
 	if s.cfg.Fleet != nil {
 		s.proxy = &fleet.Proxy{
 			Transport: s.cfg.FleetTransport,
 			Table:     s.cfg.Fleet,
 			SelfRank:  s.cfg.Fleet.Self(),
-		}
-		if s.cfg.Log != nil {
-			s.proxy.ErrorLog = s.cfg.Log
+			Log:       s.cfg.Log,
+			Metrics:   s.cfg.FleetMetrics,
 		}
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
@@ -214,19 +229,49 @@ func New(st *store.Store, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. The middleware order is deliberate:
-// request ID first (every log line and error carries it), epoch
-// enforcement before anything acts on placement (a mis-epoched hop must
-// never be answered), the draining gate before admission (rejected work
-// must not charge a tenant), admission control before body limits
-// (reject over-rate tenants before reading their bytes), body limits
-// before routing (a peeked routing field must ride the same cap the
-// handler would), routing last.
+// ServeHTTP implements http.Handler: capture the status and latency of
+// the whole middleware-plus-handler chain, then emit the metric sample
+// and the structured span record. The span logs after the response so it
+// carries the real status and duration — for SSE streams that is when
+// the stream closes, which is the span's end by any definition.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := s.requestID(w, r)
+	route := normalizeRoute(r.URL.Path)
+	done := s.metrics.Begin()
+	rec := obs.WrapWriter(w)
+	start := time.Now()
+	s.dispatch(rec, r)
+	elapsed := time.Since(start)
+	done(route, r.Method, rec.Code())
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("%s %s rid=%s", r.Method, r.URL.Path, rid)
+		attrs := []any{
+			"route", route,
+			"method", r.Method,
+			"status", rec.Code(),
+			"duration_ms", durationMS(elapsed),
+			"request_id", rid,
+		}
+		if ds := routeDataset(r.URL.Path); ds != "" {
+			attrs = append(attrs, "dataset", ds)
+		}
+		if tenant := r.Header.Get(fleet.TenantHeader); tenant != "" {
+			attrs = append(attrs, "tenant", tenant)
+		}
+		if s.cfg.Fleet != nil {
+			attrs = append(attrs, "epoch", s.cfg.Fleet.Epoch())
+		}
+		s.cfg.Log.Info("http request", attrs...)
 	}
+}
+
+// dispatch is the pre-observability request path. The middleware order is
+// deliberate: epoch enforcement before anything acts on placement (a
+// mis-epoched hop must never be answered), the draining gate before
+// admission (rejected work must not charge a tenant), admission control
+// before body limits (reject over-rate tenants before reading their
+// bytes), body limits before routing (a peeked routing field must ride
+// the same cap the handler would), routing last.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	if !s.checkEpoch(w, r) {
 		return
 	}

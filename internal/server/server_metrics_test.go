@@ -1,0 +1,222 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphdiam/internal/obs"
+	"graphdiam/internal/store"
+)
+
+// scrapeMetrics fetches /metrics and parses the text exposition into a
+// sample map, validating the lines it walks (comments well-formed, every
+// sample line "name[{labels}] value").
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("scrape: content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	samples := make(map[string]float64)
+	for ln, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value on %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples
+}
+
+func newMetricsServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	st := store.New(store.Config{MaxConcurrent: 4, Metrics: store.NewMetrics(reg)})
+	t.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(New(st, Config{Registry: reg}))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+// TestMetricsObserveJobLifecycle drives real compute traffic and checks
+// the scrape tells the same story the store's own stats do: the paper-
+// accounting counters equal Stats().TotalCost exactly (observed from the
+// same snapshots, never recomputed), cache tiers and job outcomes move,
+// and no counter ever decreases across scrapes.
+func TestMetricsObserveJobLifecycle(t *testing.T) {
+	ts, st := newMetricsServer(t)
+	before := scrapeMetrics(t, ts.URL)
+	addSpecGraph(t, ts, "g", "mesh:12", 7)
+
+	var resp DecomposeResponse
+	for i := 0; i < 3; i++ {
+		code := doJSON(t, "POST", ts.URL+"/v1/decompose",
+			map[string]any{"graph": "g", "tau": 16, "seed": uint64(i + 1)}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("decompose %d: status %d", i, code)
+		}
+	}
+	// Repeat the last query: a local LRU hit.
+	if code := doJSON(t, "POST", ts.URL+"/v1/decompose",
+		map[string]any{"graph": "g", "tau": 16, "seed": uint64(3)}, &resp); code != http.StatusOK {
+		t.Fatalf("repeat decompose: status %d", code)
+	}
+
+	after := scrapeMetrics(t, ts.URL)
+
+	stats := st.Stats()
+	if got := after["graphdiam_bsp_rounds_total"]; got != float64(stats.TotalCost.Rounds) {
+		t.Errorf("rounds: metric %v != stats %d (must be observed, not recomputed)", got, stats.TotalCost.Rounds)
+	}
+	if got := after["graphdiam_bsp_messages_total"]; got != float64(stats.TotalCost.Messages) {
+		t.Errorf("messages: metric %v != stats %d", got, stats.TotalCost.Messages)
+	}
+	if got := after["graphdiam_bsp_updates_total"]; got != float64(stats.TotalCost.Updates) {
+		t.Errorf("updates: metric %v != stats %d", got, stats.TotalCost.Updates)
+	}
+
+	checks := map[string]float64{
+		"graphdiam_store_computations_total":                                            3,
+		"graphdiam_store_cache_misses_total":                                            3,
+		`graphdiam_store_cache_hits_total{tier="local"}`:                                1,
+		`graphdiam_store_jobs_total{state="done"}`:                                      4, // v1 sync path runs through jobs
+		`graphdiam_http_requests_total{route="/v1/decompose",method="POST",code="200"}`: 4,
+		`graphdiam_http_requests_total{route="/v1/graphs",method="POST",code="201"}`:    1,
+	}
+	for k, want := range checks {
+		if got := after[k]; got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+	if after["graphdiam_store_compute_slots"] != 4 {
+		t.Errorf("slot capacity gauge = %v, want 4", after["graphdiam_store_compute_slots"])
+	}
+	if after[`graphdiam_bsp_superstep_compute_seconds_count`] == 0 {
+		t.Error("superstep tracer recorded no compute observations")
+	}
+	if after[`graphdiam_store_job_seconds_count{state="done"}`] != 4 {
+		t.Errorf("job duration histogram count = %v, want 4",
+			after[`graphdiam_store_job_seconds_count{state="done"}`])
+	}
+	if after["go_goroutines"] <= 0 {
+		t.Error("runtime gauges not sampled on scrape")
+	}
+
+	// Monotonicity across the job lifecycle: every *_total counter present
+	// in the first scrape must be <= its value in the second.
+	for k, v0 := range before {
+		if !strings.Contains(k, "_total") {
+			continue
+		}
+		if v1, ok := after[k]; ok && v1 < v0 {
+			t.Errorf("counter %s went backwards: %v -> %v", k, v0, v1)
+		}
+	}
+}
+
+// TestMetricsScrapeDuringLiveJobs scrapes in a tight loop while BSP jobs
+// run — with -race this proves exposition is safe against live engines,
+// and each scrape must stay internally consistent.
+func TestMetricsScrapeDuringLiveJobs(t *testing.T) {
+	ts, _ := newMetricsServer(t)
+	addSpecGraph(t, ts, "g", "mesh:16", 3)
+
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := scrapeMetrics(t, ts.URL)
+			if inf, cnt := s[`graphdiam_bsp_superstep_compute_seconds_bucket{le="+Inf"}`],
+				s["graphdiam_bsp_superstep_compute_seconds_count"]; inf != cnt {
+				t.Errorf("inconsistent scrape: +Inf %v != count %v", inf, cnt)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp DiameterResponse
+			code := doJSON(t, "POST", ts.URL+"/v1/diameter",
+				map[string]any{"graph": "g", "tau": 16, "seed": uint64(i + 1)}, &resp)
+			if code != http.StatusOK {
+				t.Errorf("diameter %d: status %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+
+	final := scrapeMetrics(t, ts.URL)
+	if final["graphdiam_store_computations_total"] != 6 {
+		t.Errorf("computations = %v, want 6", final["graphdiam_store_computations_total"])
+	}
+	if final["graphdiam_store_compute_slots_busy"] != 0 {
+		t.Errorf("slots busy gauge stuck at %v after idle", final["graphdiam_store_compute_slots_busy"])
+	}
+}
+
+// TestNormalizeRoute pins the cardinality contract: parameterized
+// segments collapse to placeholders, unknown paths to "other".
+func TestNormalizeRoute(t *testing.T) {
+	cases := map[string]string{
+		"/v1/decompose":           "/v1/decompose",
+		"/v1/graphs":              "/v1/graphs",
+		"/v1/graphs/usa-road":     "/v1/graphs/{name}",
+		"/v2/jobs/j-abc123":       "/v2/jobs/{id}",
+		"/v2/jobs/j-1/events":     "/v2/jobs/{id}/events",
+		"/v2/datasets/usa":        "/v2/datasets/{name}",
+		"/v2/datasets/usa/load":   "/v2/datasets/{name}/load",
+		"/v2/blobs/deadbeef":      "/v2/blobs/{sha}",
+		"/v2/cache/abc%7Cdelta=2": "/v2/cache/{key}",
+		"/metrics":                "/metrics",
+		"/v2/fleet/drain":         "/v2/fleet/drain",
+		"/completely/unknown":     "other",
+		"/v2/jobs/j-1/extra/deep": "other",
+	}
+	for path, want := range cases {
+		if got := normalizeRoute(path); got != want {
+			t.Errorf("normalizeRoute(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

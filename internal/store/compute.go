@@ -175,6 +175,7 @@ func (s *Store) runDecompose(ctx context.Context, name string, g *graph.Graph, p
 func (s *Store) decomposeWith(ctx context.Context, name string, g *graph.Graph, p Params, o core.Options, progress core.ProgressFunc) (DecomposeResult, error) {
 	var err error
 	defer o.Engine.Close() // release the persistent worker pool with the run
+	o.Engine.SetTracer(s.cfg.Metrics.Tracer())
 	o.Progress = progress
 	start := time.Now()
 	var cl *core.Clustering
@@ -249,6 +250,7 @@ func (s *Store) runDiameter(ctx context.Context, name string, g *graph.Graph, p 
 // distributed) and owns closing its engine.
 func (s *Store) diameterWith(ctx context.Context, name string, g *graph.Graph, p Params, o core.Options, progress core.ProgressFunc) (DiameterResult, error) {
 	defer o.Engine.Close() // release the persistent worker pool with the run
+	o.Engine.SetTracer(s.cfg.Metrics.Tracer())
 	o.Progress = progress
 	d, err := core.ApproxDiameter(ctx, g, core.DiamOptions{
 		Options:         o,

@@ -238,7 +238,11 @@ func (s *Store) runDistributedJob(ctx context.Context, req DistJobRequest) (any,
 	}
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
+		s.cfg.Metrics.slotAcquired()
+		defer func() {
+			s.cfg.Metrics.slotReleased()
+			<-s.sem
+		}()
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

@@ -289,7 +289,9 @@ func (s *Store) runJob(ctx context.Context, j *job, tracked bool) {
 		close(ch)
 	}
 	j.subs = make(map[int]chan JobEvent)
+	state, lifetime := j.state, j.finished.Sub(j.created)
 	s.mu.Unlock()
+	s.cfg.Metrics.jobFinished(state, lifetime)
 	close(j.done)
 }
 

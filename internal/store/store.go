@@ -62,6 +62,10 @@ type Config struct {
 	// dataset SHA-256 + canonical parameters, so content addressing makes
 	// cross-node reuse exact. See internal/fleet.Cache.
 	FleetCache FleetCache
+	// Metrics, when non-nil, observes the store: cache traffic per tier,
+	// compute-slot pressure, job durations, and BSP engine timings. Nil
+	// leaves every instrumentation site a no-op.
+	Metrics *Metrics
 }
 
 // FleetCache is the store's hook into the fleet-wide result cache. All
@@ -217,6 +221,7 @@ type Store struct {
 // New returns an empty store sized by cfg.
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
+	cfg.Metrics.setSlotCapacity(cfg.MaxConcurrent)
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Store{
 		cfg:        cfg,
@@ -416,6 +421,7 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 			s.ctrs.Hits++
 			v := el.Value.(*entry).val
 			s.mu.Unlock()
+			s.cfg.Metrics.hit("local")
 			return v, true, nil
 		}
 		// A peer may have pushed this result here before the dataset was
@@ -435,6 +441,7 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 						}
 						s.insertLocked(graphName, k, fkey, v)
 						s.mu.Unlock()
+						s.cfg.Metrics.hit("fleet_raw")
 						return v, true, nil
 					}
 					// Undecodable push: fall through and recompute.
@@ -445,6 +452,7 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		if f, ok := s.flights[k]; ok {
 			s.ctrs.Dedups++
 			s.mu.Unlock()
+			s.cfg.Metrics.coalesce()
 			select {
 			case <-f.done:
 				if f.err != nil && isContextErr(f.err) {
@@ -463,6 +471,7 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		s.flights[k] = f
 		g := ge.g
 		s.mu.Unlock()
+		s.cfg.Metrics.miss()
 
 		// Leader path: probe the fleet, else acquire a compute slot, run,
 		// publish. The probe rides the flight leadership, so concurrent
@@ -478,7 +487,9 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		if !fleetHit {
 			select {
 			case s.sem <- struct{}{}:
+				s.cfg.Metrics.slotAcquired()
 				f.val, f.err = fn(ctx, g)
+				s.cfg.Metrics.slotReleased()
 				<-s.sem
 			case <-ctx.Done():
 				f.err = ctx.Err()
@@ -491,12 +502,15 @@ func (s *Store) do(ctx context.Context, graphName, params string,
 		case f.err == nil:
 			if fleetHit {
 				s.ctrs.FleetHits++
+				s.cfg.Metrics.hit("fleet_probe")
 			} else {
 				s.ctrs.Computations++
+				s.cfg.Metrics.computation()
 			}
 			s.insertLocked(graphName, k, fkey, f.val)
 		case !isContextErr(f.err):
 			s.ctrs.Errors++ // client disconnects are not store errors
+			s.cfg.Metrics.errored()
 		}
 		s.mu.Unlock()
 		close(f.done)
@@ -626,14 +640,18 @@ func (s *Store) evictTailLocked() {
 		tail := s.lru.Back()
 		s.removeEntryLocked(tail, tail.Value.(*entry))
 		s.ctrs.Evictions++
+		s.cfg.Metrics.eviction()
 	}
 }
 
-// addCost folds one completed run's metrics into the store-wide totals.
+// addCost folds one completed run's metrics into the store-wide totals
+// and mirrors the same snapshot into the exposed monotone counters — one
+// observation site, so /metrics can never drift from /v1/stats.
 func (s *Store) addCost(m bsp.Snapshot) {
 	s.cost.AddRounds(m.Rounds)
 	s.cost.AddUpdates(m.Updates)
 	s.cost.AddMessages(m.Messages)
+	s.cfg.Metrics.observeCost(m)
 }
 
 // NotFoundError reports a query against an unregistered graph name.
