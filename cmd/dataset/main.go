@@ -10,9 +10,17 @@
 //	ingest -name NAME [-format auto] [-source TEXT] FILE
 //	        parse FILE (edgelist | dimacs | metis | binary, gzip
 //	        transparent, format sniffed by default) into a snapshot
-//	ls      list cataloged datasets
+//	append -name NAME [-source TEXT] FILE
+//	        apply an edge delta ("+ u v w" insertions, "- u v"
+//	        removals, gzip transparent; "-" reads stdin) onto the
+//	        dataset's lineage; the head SHA moves, old blobs are
+//	        never mutated
+//	compact NAME
+//	        fold NAME's delta chain into a fresh snapshot; the head
+//	        SHA — the dataset's identity — is preserved
+//	ls      list cataloged datasets with lineage (chain length, head)
 //	info NAME
-//	        print one dataset's record
+//	        print one dataset's record, including base + delta chain
 //	rm NAME
 //	        drop a dataset (snapshot file removed once unreferenced)
 //	verify [-watch [-interval 30s]] [NAME...]
@@ -33,6 +41,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -49,7 +58,7 @@ func main() {
 		remote = flag.String("remote", "", "base URL of a shared snapshot blob tier, e.g. http://daemon:8080")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dataset -dir DIR [-budget SIZE] [-remote URL] {ingest|ls|info|rm|verify} [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: dataset -dir DIR [-budget SIZE] [-remote URL] {ingest|append|compact|ls|info|rm|verify} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,6 +88,10 @@ func main() {
 	switch cmd {
 	case "ingest":
 		cmdIngest(cat, args)
+	case "append":
+		cmdAppend(cat, args)
+	case "compact":
+		cmdCompact(cat, args)
 	case "ls":
 		cmdLs(cat, args)
 	case "info":
@@ -88,7 +101,7 @@ func main() {
 	case "verify":
 		cmdVerify(cat, args)
 	default:
-		fatal("unknown command %q (want ingest, ls, info, rm, or verify)", cmd)
+		fatal("unknown command %q (want ingest, append, compact, ls, info, rm, or verify)", cmd)
 	}
 }
 
@@ -114,6 +127,64 @@ func cmdIngest(cat *dataset.Catalog, args []string) {
 		in.Name, in.NumNodes, in.NumEdges, in.Format, in.SHA256[:12], in.Bytes)
 }
 
+// cmdAppend streams an edge-delta file onto a dataset's lineage: the
+// frame blob is published (to the shared tier with -remote, exactly
+// like ingest) and the manifest's head moves atomically.
+func cmdAppend(cat *dataset.Catalog, args []string) {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name (required)")
+	source := fs.String("source", "", "provenance note stored in the manifest")
+	fs.Parse(args)
+	if *name == "" || fs.NArg() != 1 {
+		fatal("usage: append -name NAME [-source S] FILE   (FILE may be - for stdin)")
+	}
+	var r io.Reader = os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal("append: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	d, err := dataset.DecodeDeltaStream(r)
+	if err != nil {
+		fatal("append: %v", err)
+	}
+	src := *source
+	if src == "" {
+		src = "append " + filepath.Base(fs.Arg(0))
+	}
+	res, err := cat.AppendDelta(*name, d, src)
+	if err != nil {
+		fatal("append: %v", err)
+	}
+	if !res.Applied {
+		fmt.Printf("no-op append on %s: head stays %s (+%d -%d changed nothing)\n",
+			*name, res.Info.SHA256[:12], res.Ins, res.Rem)
+		return
+	}
+	fmt.Printf("appended to %s: +%d -%d, head %s -> %s, chain=%d, n=%d m=%d\n",
+		*name, res.Ins, res.Rem, res.PrevSHA[:12], res.Info.SHA256[:12],
+		res.Info.ChainLen(), res.Info.NumNodes, res.Info.NumEdges)
+}
+
+func cmdCompact(cat *dataset.Catalog, args []string) {
+	if len(args) != 1 {
+		fatal("usage: compact NAME")
+	}
+	in, compacted, err := cat.Compact(args[0])
+	if err != nil {
+		fatal("compact: %v", err)
+	}
+	if !compacted {
+		fmt.Printf("%s has no delta chain; nothing to compact\n", args[0])
+		return
+	}
+	fmt.Printf("compacted %s: head %s preserved, snapshot %d bytes\n",
+		args[0], in.SHA256[:12], in.Bytes)
+}
+
 func cmdLs(cat *dataset.Catalog, args []string) {
 	if len(args) != 0 {
 		fatal("usage: ls")
@@ -123,9 +194,10 @@ func cmdLs(cat *dataset.Catalog, args []string) {
 		fmt.Println("(empty catalog)")
 		return
 	}
-	fmt.Printf("%-24s %12s %12s %12s  %s\n", "NAME", "NODES", "EDGES", "BYTES", "SHA256")
+	fmt.Printf("%-24s %12s %12s %12s %6s  %s\n", "NAME", "NODES", "EDGES", "BYTES", "CHAIN", "HEAD")
 	for _, in := range list {
-		fmt.Printf("%-24s %12d %12d %12d  %s\n", in.Name, in.NumNodes, in.NumEdges, in.Bytes, in.SHA256[:12])
+		fmt.Printf("%-24s %12d %12d %12d %6d  %s\n",
+			in.Name, in.NumNodes, in.NumEdges, in.Bytes, in.ChainLen(), in.SHA256[:12])
 	}
 	fmt.Printf("total unique bytes: %d\n", cat.TotalBytes())
 }
@@ -138,9 +210,16 @@ func cmdInfo(cat *dataset.Catalog, args []string) {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("name:       %s\nsha256:     %s\nbytes:      %d\nnodes:      %d\nedges:      %d\nformat:     %s\nsource:     %s\ncreated:    %s\nlast used:  %s\n",
+	fmt.Printf("name:       %s\nhead sha:   %s\nbytes:      %d\nnodes:      %d\nedges:      %d\nformat:     %s\nsource:     %s\ncreated:    %s\nlast used:  %s\n",
 		in.Name, in.SHA256, in.Bytes, in.NumNodes, in.NumEdges, in.Format, in.Source,
 		in.CreatedAt.Format("2006-01-02 15:04:05"), in.LastUsedAt.Format("2006-01-02 15:04:05"))
+	if in.ChainLen() > 0 {
+		fmt.Printf("base sha:   %s (%d bytes)\nchain:      %d delta frame(s)\n",
+			in.BaseSHA256, in.BaseBytes, in.ChainLen())
+		for i, d := range in.Deltas {
+			fmt.Printf("  delta %d:  %s (+%d -%d, %d bytes)\n", i, d.SHA256[:12], d.Ins, d.Rem, d.Bytes)
+		}
+	}
 }
 
 func cmdRm(cat *dataset.Catalog, args []string) {

@@ -168,6 +168,7 @@ func main() {
 		fleetConfig   = flag.String("fleet-config", "", "JSON placement-view file ({\"epoch\",\"members\"}) reloaded on SIGHUP to swap fleet membership at runtime (requires -peers)")
 		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant admitted jobs/second (0 = admission control disabled)")
 		tenantBurst   = flag.Float64("tenant-burst", 0, "per-tenant job burst capacity (0 = max(1, -tenant-rate); requires -tenant-rate)")
+		churnThresh   = flag.Float64("churn-threshold", 0, "max fraction of clusters a delta may touch and still trigger eager decomposition maintenance on append (0 = default 0.25, negative = always lazy)")
 		debugAddr     = flag.String("debug-addr", "", "private listen address for pprof and a /metrics mirror, e.g. localhost:6060 (empty = disabled; never expose publicly)")
 		pre           preloads
 	)
@@ -229,7 +230,8 @@ func main() {
 		if *verifyEvery < 0 {
 			logger.Fatalf("-verify-interval must be positive (0 disables)")
 		}
-		opts := dataset.Options{ByteBudget: budget, Log: logger}
+		opts := dataset.Options{ByteBudget: budget, Log: logger,
+			Metrics: dataset.NewCatalogMetrics(reg)}
 		if *blobURL != "" {
 			// Shared snapshot tier: blobs fetch by content address from
 			// the peer, read-through cached under <data-dir>/cache, and
@@ -298,12 +300,13 @@ func main() {
 	}
 
 	scfg := store.Config{
-		MaxEntries:    *maxEntries,
-		MaxConcurrent: *maxConcurrent,
-		MaxJobs:       *maxJobs,
-		Catalog:       cat,
-		Distributed:   dist,
-		Metrics:       storeMetrics,
+		MaxEntries:     *maxEntries,
+		MaxConcurrent:  *maxConcurrent,
+		MaxJobs:        *maxJobs,
+		Catalog:        cat,
+		Distributed:    dist,
+		Metrics:        storeMetrics,
+		ChurnThreshold: *churnThresh,
 	}
 	if fcache != nil {
 		scfg.FleetCache = fcache

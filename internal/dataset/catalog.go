@@ -57,21 +57,95 @@ type Options struct {
 	// a RemoteStore makes this node serve from (and publish to) a shared
 	// HTTP blob tier while keeping its manifest local.
 	Blobs BlobStore
+	// CompactAfter is the delta-chain length past which an append
+	// triggers background compaction (fold the chain into a fresh
+	// snapshot). 0 means the default (8); negative disables automatic
+	// compaction (explicit Compact still works).
+	CompactAfter int
+	// CompactFraction triggers background compaction when the chain's
+	// cumulative record count exceeds this fraction of the base graph's
+	// edges, independent of chain length. 0 means the default (0.25).
+	CompactFraction float64
+	// Metrics receives append/compaction/chain-length telemetry; nil
+	// disables.
+	Metrics *CatalogMetrics
 }
 
-// Info describes one cataloged dataset. Two names may share a SHA (and
-// thus one snapshot file); bytes are counted once per unique snapshot in
-// budget accounting.
+// defaultCompactAfter and defaultCompactFraction are the churn
+// thresholds of the background compaction policy.
+const (
+	defaultCompactAfter    = 8
+	defaultCompactFraction = 0.25
+)
+
+// DeltaRef is one link of a dataset's delta chain: the content address
+// of a GDD1 frame blob plus its shape, enough for O(1) boot validation
+// and per-blob budget accounting without opening the frame.
+type DeltaRef struct {
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+	Ins    int    `json:"ins"`
+	Rem    int    `json:"rem"`
+}
+
+// Info describes one cataloged dataset. Two names may share blobs;
+// bytes are counted once per unique blob in budget accounting.
+//
+// SHA256 is the dataset's lineage head: the payload SHA-256 of the
+// fully materialized CSR. For a plain snapshot (empty Deltas) that is
+// also the address of the stored blob. For a lineage (base + delta
+// chain) the head is a *derived* address — no blob exists under it
+// until compaction folds the chain — and the stored blobs are
+// BaseSHA256 plus every Deltas entry. NumNodes/NumEdges/Bytes describe
+// the materialized graph and the total stored bytes respectively.
 type Info struct {
-	Name       string    `json:"name"`
-	SHA256     string    `json:"sha256"`
-	Bytes      int64     `json:"bytes"`
-	NumNodes   int       `json:"numNodes"`
-	NumEdges   int       `json:"numEdges"`
-	Format     string    `json:"format"`
-	Source     string    `json:"source"`
-	CreatedAt  time.Time `json:"createdAt"`
-	LastUsedAt time.Time `json:"lastUsedAt"`
+	Name       string     `json:"name"`
+	SHA256     string     `json:"sha256"`
+	Bytes      int64      `json:"bytes"`
+	NumNodes   int        `json:"numNodes"`
+	NumEdges   int        `json:"numEdges"`
+	Format     string     `json:"format"`
+	Source     string     `json:"source"`
+	CreatedAt  time.Time  `json:"createdAt"`
+	LastUsedAt time.Time  `json:"lastUsedAt"`
+	BaseSHA256 string     `json:"baseSha256,omitempty"`
+	BaseBytes  int64      `json:"baseBytes,omitempty"`
+	Deltas     []DeltaRef `json:"deltas,omitempty"`
+}
+
+// base returns the address of the dataset's base snapshot blob: the
+// head itself when there is no delta chain.
+func (in *Info) base() string {
+	if in.BaseSHA256 != "" {
+		return in.BaseSHA256
+	}
+	return in.SHA256
+}
+
+// ChainLen reports the delta chain length (0 for a plain snapshot).
+func (in *Info) ChainLen() int { return len(in.Deltas) }
+
+// blobRef is one stored blob an entry depends on.
+type blobRef struct {
+	sha   string
+	bytes int64
+	delta bool
+}
+
+// blobRefs enumerates the blobs this entry actually stores: the base
+// snapshot and every delta frame. The head address of a non-empty chain
+// is deliberately absent — it names derived content, not a blob.
+func (in *Info) blobRefs() []blobRef {
+	baseBytes := in.Bytes
+	if len(in.Deltas) > 0 {
+		baseBytes = in.BaseBytes
+	}
+	refs := make([]blobRef, 0, 1+len(in.Deltas))
+	refs = append(refs, blobRef{sha: in.base(), bytes: baseBytes})
+	for _, d := range in.Deltas {
+		refs = append(refs, blobRef{sha: d.SHA256, bytes: d.Bytes, delta: true})
+	}
+	return refs
 }
 
 // manifest is the on-disk catalog state.
@@ -100,6 +174,13 @@ type Catalog struct {
 	publishing map[string]int     // blob publishes in flight, not yet manifest-referenced
 	dirty      bool               // in-memory state (incl. recency) ahead of manifest.json
 	now        func() time.Time
+
+	// appendMu serializes head movement (append/compact) so two appends
+	// cannot both materialize from the same predecessor and race their
+	// manifest commits. Ordered before c.mu; never held across a query.
+	appendMu   sync.Mutex
+	compacting map[string]bool // names with a background compaction in flight
+	compactWG  sync.WaitGroup  // joins background compactions at Close
 
 	sweepMu   sync.Mutex
 	sweep     SweepStatus
@@ -138,7 +219,7 @@ func Open(dir string, opts Options) (*Catalog, error) {
 	}
 	c := &Catalog{dir: dir, opts: opts, blobs: blobs, lock: lock,
 		entries: map[string]*Info{}, mapped: map[string]*Loaded{},
-		publishing: map[string]int{}, now: time.Now}
+		publishing: map[string]int{}, compacting: map[string]bool{}, now: time.Now}
 
 	dirty, err := c.recover()
 	if err != nil {
@@ -199,7 +280,7 @@ func (c *Catalog) recover() (dirty bool, err error) {
 	// let queries 404 until the tier heals.
 	_, sharedTier := c.blobs.(nameResolver)
 	for name, in := range c.entries {
-		verr := c.checkEntry(in)
+		badSHA, verr := c.checkEntry(in)
 		switch {
 		case verr == nil:
 		case errors.Is(verr, ErrBackendUnavailable):
@@ -207,7 +288,9 @@ func (c *Catalog) recover() (dirty bool, err error) {
 		case sharedTier && errors.Is(verr, ErrBlobNotFound):
 			c.logf("dataset %q (%s) missing from the shared tier; keeping the entry", name, ShortSHA(in.SHA256))
 		default:
-			c.quarantineBlob(in.SHA256)
+			if badSHA != "" {
+				c.quarantineBlob(badSHA)
+			}
 			delete(c.entries, name)
 			c.logf("quarantined dataset %q (%s): %v", name, ShortSHA(in.SHA256), verr)
 			dirty = true
@@ -221,7 +304,9 @@ func (c *Catalog) recover() (dirty bool, err error) {
 	// even though this manifest has never heard of them.
 	referenced := map[string]bool{}
 	for _, in := range c.entries {
-		referenced[in.SHA256] = true
+		for _, br := range in.blobRefs() {
+			referenced[br.sha] = true
+		}
 	}
 	if pinner, ok := c.blobs.(blobPinner); ok {
 		for _, sha := range pinner.PinnedBlobs() {
@@ -266,32 +351,97 @@ func ShortSHA(sha string) string {
 }
 
 // checkEntry runs the O(1) load-path validation of one manifest entry
-// through the blob backend (header page only; no full download).
-func (c *Catalog) checkEntry(in *Info) error {
-	rc, err := c.blobs.Open(in.SHA256)
+// through the blob backend (header bytes only; no full download). A
+// lineage entry has no blob under its head address, so the check walks
+// the stored blobs — base snapshot plus every delta frame — instead.
+// On failure badSHA names the specific offending blob (the one worth
+// quarantining; blobs shared with healthy entries must not be set
+// aside for another entry's sin), or "" when no single blob is at
+// fault.
+func (c *Catalog) checkEntry(in *Info) (badSHA string, err error) {
+	if len(in.Deltas) == 0 {
+		h, err := c.checkSnapshotBlob(in.SHA256)
+		if err != nil {
+			return in.SHA256, err
+		}
+		if h.NumNodes != in.NumNodes || h.NumEdges != in.NumEdges || h.FileBytes != in.Bytes {
+			return in.SHA256, fmt.Errorf("header shape disagrees with manifest")
+		}
+		return "", nil
+	}
+	if !shaRE.MatchString(in.SHA256) {
+		return "", fmt.Errorf("malformed lineage head %q", in.SHA256)
+	}
+	h, err := c.checkSnapshotBlob(in.base())
 	if err != nil {
-		return err
+		return in.base(), fmt.Errorf("base %s: %w", ShortSHA(in.base()), err)
+	}
+	if h.FileBytes != in.BaseBytes {
+		return in.base(), fmt.Errorf("base %s: snapshot is %d bytes, manifest records %d", ShortSHA(in.base()), h.FileBytes, in.BaseBytes)
+	}
+	for i, ref := range in.Deltas {
+		if err := c.checkDeltaBlob(ref); err != nil {
+			return ref.SHA256, fmt.Errorf("delta %d (%s): %w", i, ShortSHA(ref.SHA256), err)
+		}
+	}
+	return "", nil
+}
+
+// checkSnapshotBlob validates one snapshot blob's header page against
+// its content address.
+func (c *Catalog) checkSnapshotBlob(sha string) (Header, error) {
+	rc, err := c.blobs.Open(sha)
+	if err != nil {
+		return Header{}, err
 	}
 	defer rc.Close()
 	buf := make([]byte, pageSize)
 	if _, err := io.ReadFull(rc, buf); err != nil {
-		return fmt.Errorf("short header: %w", err)
+		return Header{}, fmt.Errorf("short header: %w", err)
 	}
 	size := int64(-1) // unknown (e.g. uncached remote blob): skip the size check
 	if bz, ok := c.blobs.(blobSizer); ok {
-		if sz, err := bz.BlobSize(in.SHA256); err == nil {
+		if sz, err := bz.BlobSize(sha); err == nil {
 			size = sz
 		}
 	}
 	h, _, err := decodeHeader(buf, size)
 	if err != nil {
+		return Header{}, err
+	}
+	if h.SHAHex() != sha {
+		return Header{}, fmt.Errorf("content address %s does not match manifest %s", ShortSHA(h.SHAHex()), ShortSHA(sha))
+	}
+	return h, nil
+}
+
+// checkDeltaBlob validates one delta frame's header against its chain
+// reference (header bytes only; the payload hash is checked on load).
+func (c *Catalog) checkDeltaBlob(ref DeltaRef) error {
+	rc, err := c.blobs.Open(ref.SHA256)
+	if err != nil {
 		return err
 	}
-	if h.SHAHex() != in.SHA256 {
-		return fmt.Errorf("content address %s does not match manifest %s", ShortSHA(h.SHAHex()), ShortSHA(in.SHA256))
+	defer rc.Close()
+	buf := make([]byte, deltaHeaderSize)
+	if _, err := io.ReadFull(rc, buf); err != nil {
+		return fmt.Errorf("short delta header: %w", err)
 	}
-	if h.NumNodes != in.NumNodes || h.NumEdges != in.NumEdges || h.FileBytes != in.Bytes {
-		return fmt.Errorf("header shape disagrees with manifest")
+	size := int64(-1)
+	if bz, ok := c.blobs.(blobSizer); ok {
+		if sz, err := bz.BlobSize(ref.SHA256); err == nil {
+			size = sz
+		}
+	}
+	h, err := decodeDeltaHeader(buf, size)
+	if err != nil {
+		return err
+	}
+	if h.SHAHex() != ref.SHA256 {
+		return fmt.Errorf("content address %s does not match chain reference %s", ShortSHA(h.SHAHex()), ShortSHA(ref.SHA256))
+	}
+	if h.NumIns != ref.Ins || h.NumRem != ref.Rem || h.FileBytes != ref.Bytes {
+		return fmt.Errorf("delta frame shape disagrees with chain reference")
 	}
 	return nil
 }
@@ -432,7 +582,7 @@ func (c *Catalog) IngestGraph(name string, g *graph.Graph, format, source string
 	old := c.entries[name]
 	c.entries[name] = in
 	if old != nil && old.SHA256 != sha {
-		c.removeBlobIfUnreferencedLocked(old.SHA256)
+		c.removeEntryBlobsLocked(old)
 	}
 	c.evictLocked(name)
 	if err := c.saveManifestLocked(); err != nil {
@@ -464,22 +614,34 @@ func (c *Catalog) evictLocked(keep string) {
 		}
 		in := c.entries[victim]
 		delete(c.entries, victim)
-		c.removeBlobIfUnreferencedLocked(in.SHA256)
+		c.removeEntryBlobsLocked(in)
 		c.logf("evicted dataset %q (%d bytes) for byte budget %d", victim, in.Bytes, c.opts.ByteBudget)
 	}
 }
 
-// totalBytesLocked sums bytes once per unique snapshot.
+// totalBytesLocked sums bytes once per unique stored blob (base
+// snapshots and delta frames alike).
 func (c *Catalog) totalBytesLocked() int64 {
 	seen := map[string]int64{}
 	for _, in := range c.entries {
-		seen[in.SHA256] = in.Bytes
+		for _, br := range in.blobRefs() {
+			seen[br.sha] = br.bytes
+		}
 	}
 	var total int64
 	for _, b := range seen {
 		total += b
 	}
 	return total
+}
+
+// removeEntryBlobsLocked drops every blob a just-removed entry stored,
+// each only when nothing else references it. Caller holds c.mu and has
+// already detached the entry.
+func (c *Catalog) removeEntryBlobsLocked(in *Info) {
+	for _, br := range in.blobRefs() {
+		c.removeBlobIfUnreferencedLocked(br.sha)
+	}
 }
 
 // removeBlobIfUnreferencedLocked drops a blob's local presence once
@@ -490,8 +652,10 @@ func (c *Catalog) totalBytesLocked() int64 {
 // either way. Caller holds c.mu.
 func (c *Catalog) removeBlobIfUnreferencedLocked(sha string) {
 	for _, in := range c.entries {
-		if in.SHA256 == sha {
-			return
+		for _, br := range in.blobRefs() {
+			if br.sha == sha {
+				return
+			}
 		}
 	}
 	if c.publishing[sha] > 0 {
@@ -532,6 +696,7 @@ func (c *Catalog) Load(name string) (*Loaded, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	sha := in.SHA256
+	lineage := *in // copy: materialization runs outside the lock
 	in.LastUsedAt = c.now()
 	c.dirty = true
 	// Recency is persisted opportunistically on the next mutation or at
@@ -542,11 +707,19 @@ func (c *Catalog) Load(name string) (*Loaded, error) {
 	}
 	c.mu.Unlock()
 
-	// Materialize outside the lock: a remote backend downloads here.
-	path, err := c.blobs.Fetch(sha)
+	// Materialize outside the lock: a remote backend downloads here. A
+	// lineage entry has no head blob — it loads the base snapshot and
+	// replays the delta chain instead.
 	var ld *Loaded
-	if err == nil {
-		ld, err = LoadSnapshot(path)
+	var err error
+	if len(lineage.Deltas) > 0 {
+		ld, err = c.materializeLineage(&lineage)
+	} else {
+		var path string
+		path, err = c.blobs.Fetch(sha)
+		if err == nil {
+			ld, err = LoadSnapshot(path)
+		}
 	}
 	if errors.Is(err, ErrBlobNotFound) || errors.Is(err, os.ErrNotExist) {
 		// The blob vanished between the lookup and the open: a concurrent
@@ -681,7 +854,7 @@ func (c *Catalog) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(c.entries, name)
-	c.removeBlobIfUnreferencedLocked(in.SHA256)
+	c.removeEntryBlobsLocked(in)
 	return c.saveManifestLocked()
 }
 
@@ -695,12 +868,48 @@ func (c *Catalog) Verify(name string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	path, err := c.blobs.Fetch(cp.SHA256)
+	if len(cp.Deltas) == 0 {
+		path, err := c.blobs.Fetch(cp.SHA256)
+		if err != nil {
+			return Info{}, err
+		}
+		if _, err := VerifySnapshot(path); err != nil {
+			return Info{}, err
+		}
+		return cp, nil
+	}
+	// A lineage verifies end to end: the base snapshot deep-checks like
+	// any other, every delta frame re-hashes to its chain address, and
+	// the replayed materialization must land exactly on the recorded
+	// head — the lineage-wide integrity statement.
+	path, err := c.blobs.Fetch(cp.base())
 	if err != nil {
 		return Info{}, err
 	}
 	if _, err := VerifySnapshot(path); err != nil {
 		return Info{}, err
+	}
+	for i, ref := range cp.Deltas {
+		dpath, err := c.blobs.Fetch(ref.SHA256)
+		if err != nil {
+			return Info{}, err
+		}
+		h, err := verifyDeltaFile(dpath)
+		if err != nil {
+			return Info{}, err
+		}
+		if h.SHAHex() != ref.SHA256 {
+			return Info{}, fmt.Errorf("dataset: delta %d of %q hashes to %s, chain records %s",
+				i, name, ShortSHA(h.SHAHex()), ShortSHA(ref.SHA256))
+		}
+	}
+	ld, err := c.materializeLineage(&cp)
+	if err != nil {
+		return Info{}, err
+	}
+	defer ld.Close()
+	if err := ld.Graph.ValidateCSR(); err != nil {
+		return Info{}, fmt.Errorf("dataset: materialized lineage of %q: %w", name, err)
 	}
 	return cp, nil
 }
@@ -713,8 +922,11 @@ func (c *Catalog) Dir() string { return c.dir }
 func (c *Catalog) Blobs() BlobStore { return c.blobs }
 
 // ReferencesBlob reports whether this catalog still needs sha: a
-// manifest entry names it or a publish is in flight. It is the
-// referential guard the served blob tier's DELETE consults.
+// manifest entry stores it — as its snapshot, as a lineage base, or as
+// a link of its delta chain — or a publish is in flight. It is the
+// referential guard the served blob tier's DELETE consults, and what
+// turns "DELETE a referenced base out from under its lineage" into a
+// 409 instead of data loss.
 func (c *Catalog) ReferencesBlob(sha string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -722,8 +934,10 @@ func (c *Catalog) ReferencesBlob(sha string) bool {
 		return true
 	}
 	for _, in := range c.entries {
-		if in.SHA256 == sha {
-			return true
+		for _, br := range in.blobRefs() {
+			if br.sha == sha {
+				return true
+			}
 		}
 	}
 	return false
@@ -774,6 +988,9 @@ func (c *Catalog) Close() error {
 	if stop != nil {
 		stop()
 	}
+	// Join background compactions before tearing mappings down: they
+	// hold Loaded graphs and write manifests.
+	c.compactWG.Wait()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var err error

@@ -1,0 +1,44 @@
+package dataset
+
+import "graphdiam/internal/obs"
+
+// CatalogMetrics is the catalog's lineage telemetry: appends,
+// compactions, and the live delta-chain length per dataset. Labels
+// carry dataset names only (bounded cardinality); SHAs never appear as
+// label values. A nil *CatalogMetrics is valid and records nothing.
+type CatalogMetrics struct {
+	appends     *obs.CounterVec
+	compactions *obs.CounterVec
+	chainLen    *obs.GaugeVec
+}
+
+// NewCatalogMetrics registers the catalog metric families on r.
+func NewCatalogMetrics(r *obs.Registry) *CatalogMetrics {
+	return &CatalogMetrics{
+		appends: r.CounterVec("graphdiam_dataset_appends_total",
+			"Delta frames appended to a dataset's lineage (no-op appends excluded).",
+			"dataset"),
+		compactions: r.CounterVec("graphdiam_dataset_compactions_total",
+			"Delta chains folded into fresh snapshots.",
+			"dataset"),
+		chainLen: r.GaugeVec("graphdiam_dataset_delta_chain_length",
+			"Current delta-chain length of a dataset's lineage (0 after compaction).",
+			"dataset"),
+	}
+}
+
+func (m *CatalogMetrics) appended(dataset string, chainLen int) {
+	if m == nil {
+		return
+	}
+	m.appends.With(dataset).Inc()
+	m.chainLen.With(dataset).Set(float64(chainLen))
+}
+
+func (m *CatalogMetrics) compacted(dataset string) {
+	if m == nil {
+		return
+	}
+	m.compactions.With(dataset).Inc()
+	m.chainLen.With(dataset).Set(0)
+}

@@ -363,6 +363,18 @@ func (s *RemoteStore) LookupName(name string) (Info, error) {
 	if !shaRE.MatchString(in.SHA256) || in.NumNodes < 0 || in.NumEdges < 0 || in.Bytes <= 0 {
 		return Info{}, fmt.Errorf("dataset: remote lookup %q: implausible record", name)
 	}
+	if len(in.Deltas) > 0 {
+		// Lineage records must name well-formed blobs: adoption fetches
+		// the base and every frame by these addresses.
+		if !shaRE.MatchString(in.BaseSHA256) || in.BaseBytes <= 0 {
+			return Info{}, fmt.Errorf("dataset: remote lookup %q: implausible lineage base", name)
+		}
+		for _, d := range in.Deltas {
+			if !shaRE.MatchString(d.SHA256) || d.Bytes <= 0 || d.Ins < 0 || d.Rem < 0 {
+				return Info{}, fmt.Errorf("dataset: remote lookup %q: implausible delta ref", name)
+			}
+		}
+	}
 	in.Name = name
 	return in, nil
 }
@@ -533,17 +545,47 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// checkBlobFile confirms path is a structurally sane snapshot whose
-// payload hashes to sha: the O(header) + O(payload-hash) integrity check
-// shared by remote fetch admission and blob-server upload admission.
+// checkBlobFile confirms path is a structurally sane blob whose payload
+// hashes to sha: the O(header) + O(payload-hash) integrity check shared
+// by remote fetch admission and blob-server upload admission. The blob
+// tier stores two frame kinds — GDS1 snapshots and GDD1 delta frames —
+// dispatched on the magic, so delta frames flow through the same
+// content-addressed adoption path as base snapshots.
 func checkBlobFile(path, sha string) error {
-	h, err := verifyAddress(path)
-	if err != nil {
+	got := ""
+	switch magic, err := sniffMagic(path); {
+	case err != nil:
 		return err
+	case magic == deltaMagic:
+		dh, err := verifyDeltaFile(path)
+		if err != nil {
+			return err
+		}
+		got = dh.SHAHex()
+	default:
+		h, err := verifyAddress(path)
+		if err != nil {
+			return err
+		}
+		got = h.SHAHex()
 	}
-	if h.SHAHex() != sha {
+	if got != sha {
 		return fmt.Errorf("dataset: blob content hashes to %s, not %s",
-			ShortSHA(h.SHAHex()), ShortSHA(sha))
+			ShortSHA(got), ShortSHA(sha))
 	}
 	return nil
+}
+
+// sniffMagic reads the blob's leading magic word (little-endian u32).
+func sniffMagic(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var b [4]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return 0, fmt.Errorf("dataset: blob too short for a magic word: %w", err)
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
 }

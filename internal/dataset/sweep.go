@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -63,10 +64,19 @@ func (c *Catalog) SweepStatus() SweepStatus {
 func (c *Catalog) SweepOnce() []SweepResult {
 	entries := c.List()
 
-	// Group names by content address so shared snapshots hash once.
+	// Group names by stored blob so shared blobs hash once. A lineage
+	// entry depends on every blob in its chain (base + delta frames), so
+	// it appears under each; its derived head address names no blob and
+	// is not swept directly — materialization re-checks it on load.
 	bysha := map[string][]string{}
+	isDelta := map[string]bool{}
 	for _, in := range entries {
-		bysha[in.SHA256] = append(bysha[in.SHA256], in.Name)
+		for _, br := range in.blobRefs() {
+			bysha[br.sha] = append(bysha[br.sha], in.Name)
+			if br.delta {
+				isDelta[br.sha] = true
+			}
+		}
 	}
 
 	var results []SweepResult
@@ -77,7 +87,7 @@ func (c *Catalog) SweepOnce() []SweepResult {
 	// every peer's manifest. Mirror boot recovery and skip.
 	_, sharedTier := c.blobs.(nameResolver)
 	for sha, names := range bysha {
-		verr := c.verifyBlob(sha)
+		verr := c.verifyBlob(sha, isDelta[sha])
 		now := c.now()
 		switch {
 		case verr == nil:
@@ -115,14 +125,34 @@ func (c *Catalog) SweepOnce() []SweepResult {
 	return results
 }
 
-// verifyBlob materializes one blob and deep-checks it.
-func (c *Catalog) verifyBlob(sha string) error {
+// verifyBlob materializes one blob and deep-checks it: full snapshot
+// verification for GDS1 bases, full decode + payload re-hash for GDD1
+// delta frames.
+func (c *Catalog) verifyBlob(sha string, delta bool) error {
 	path, err := c.blobs.Fetch(sha)
 	if err != nil {
 		return err
 	}
-	_, err = VerifySnapshot(path)
-	return err
+	if delta {
+		dh, err := verifyDeltaFile(path)
+		if err != nil {
+			return err
+		}
+		if dh.SHAHex() != sha {
+			return fmt.Errorf("dataset: delta frame hashes to %s, not %s",
+				ShortSHA(dh.SHAHex()), ShortSHA(sha))
+		}
+		return nil
+	}
+	h, err := VerifySnapshot(path)
+	if err != nil {
+		return err
+	}
+	if h.SHAHex() != sha {
+		return fmt.Errorf("dataset: snapshot hashes to %s, not %s",
+			ShortSHA(h.SHAHex()), ShortSHA(sha))
+	}
+	return nil
 }
 
 // condemn quarantines a corrupt blob and drops every manifest entry
@@ -134,7 +164,14 @@ func (c *Catalog) condemn(sha string, verr error) int {
 	defer c.mu.Unlock()
 	dropped := 0
 	for name, in := range c.entries {
-		if in.SHA256 != sha {
+		depends := false
+		for _, br := range in.blobRefs() {
+			if br.sha == sha {
+				depends = true
+				break
+			}
+		}
+		if !depends {
 			continue
 		}
 		delete(c.entries, name)

@@ -68,7 +68,7 @@ func TestSweepQuarantinesFlippedPayloadByte(t *testing.T) {
 	// whole reason the deep sweeper exists.
 	path := filepath.Join(dir, snapshotsDir, inBad.SHA256+snapExt)
 	flipPayloadByte(t, path, pageSize+24)
-	if err := c.checkEntry(&inBad); err != nil {
+	if _, err := c.checkEntry(&inBad); err != nil {
 		t.Fatalf("premise broken: boot-time header check already detects the payload flip: %v", err)
 	}
 

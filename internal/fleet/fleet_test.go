@@ -204,6 +204,11 @@ func TestClassify(t *testing.T) {
 		{"GET", "/v1/stats", Decision{Class: RouteLocal}},
 		{"POST", "/v2/datasets", Decision{Class: RouteLocal}},
 		{"GET", "/v2/datasets/usa", Decision{Class: RouteLocal}},
+		{"POST", "/v2/datasets/usa/load", Decision{Class: RouteLocal}},
+		{"POST", "/v2/datasets/usa/append", Decision{Class: RouteDataset, Dataset: "usa"}},
+		{"POST", "/v2/datasets/usa/compact", Decision{Class: RouteDataset, Dataset: "usa"}},
+		{"POST", "/v2/datasets/usa%20road/append", Decision{Class: RouteDataset, Dataset: "usa road"}},
+		{"GET", "/v2/datasets/usa/append", Decision{Class: RouteLocal}},
 		{"GET", "/v2/cache/abc", Decision{Class: RouteLocal}},
 		{"POST", "/v2/bsp/frames", Decision{Class: RouteLocal}},
 		{"GET", "/v2/blobs", Decision{Class: RouteLocal}},

@@ -85,6 +85,17 @@ func Classify(method, path string) Decision {
 		rest := strings.TrimPrefix(path, "/v2/jobs/")
 		id := strings.TrimSuffix(rest, "/events")
 		return Decision{Class: RouteJob, JobID: id}
+	case method == http.MethodPost && strings.HasPrefix(path, "/v2/datasets/") &&
+		(strings.HasSuffix(path, "/append") || strings.HasSuffix(path, "/compact")):
+		// Lineage mutations move a dataset's head and must land on its
+		// owner so the head moves exactly once and replicas adopt the new
+		// frame by content address, like any other placed write.
+		name := strings.TrimPrefix(path, "/v2/datasets/")
+		name = strings.TrimSuffix(strings.TrimSuffix(name, "/append"), "/compact")
+		if un, err := url.PathUnescape(name); err == nil {
+			name = un
+		}
+		return Decision{Class: RouteDataset, Dataset: name}
 	case path == "/v1/stats" || path == "/v2/datasets" || strings.HasPrefix(path, "/v2/datasets/"):
 		// Stats are per-node; catalog administration targets the node the
 		// operator addressed (ingest topology — hub vs mesh — is a

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"graphdiam/internal/dataset"
+	"graphdiam/internal/store"
 )
 
 // The /v2/datasets endpoints manage the persistent graph catalog (see
@@ -24,6 +25,12 @@ import (
 //	       file once unreferenced); already-loaded graphs stay usable
 //	POST   /v2/datasets/{name}/load   fault the dataset into the
 //	       in-memory registry now (queries do this lazily anyway)
+//	POST   /v2/datasets/{name}/append stream an edge delta ("+ u v w" /
+//	       "- u v" lines, optionally gzip-wrapped) onto the dataset's
+//	       lineage; the head SHA moves, stale caches are invalidated,
+//	       and decompositions are maintained per the churn policy
+//	POST   /v2/datasets/{name}/compact fold the delta chain into a
+//	       fresh snapshot (the head — and every cache key — survives)
 //
 //	GET    /v2/blobs                  list snapshot content addresses
 //	GET    /v2/blobs/{sha}            stream one snapshot blob
@@ -60,6 +67,8 @@ func writeDatasetError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, dataset.ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, dataset.ErrHeadMoved):
+		writeError(w, http.StatusConflict, err)
 	case errors.As(err, &tooBig):
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.As(err, &badIn):
@@ -159,4 +168,85 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// AppendResponse is the POST /v2/datasets/{name}/append payload: the
+// head movement plus what the store's delta maintenance did about it.
+type AppendResponse struct {
+	Dataset     string `json:"dataset"`
+	PrevSHA     string `json:"prevSha"`
+	HeadSHA     string `json:"headSha"`
+	Applied     bool   `json:"applied"`
+	Inserted    int    `json:"inserted"`
+	Removed     int    `json:"removed"`
+	ChainLength int    `json:"chainLength"`
+	// Maintenance is present when the head actually moved.
+	Maintenance *store.MaintenanceResult `json:"maintenance,omitempty"`
+}
+
+// handleAppendDataset streams an edge delta onto the named dataset's
+// lineage. The body is the text delta format (gzip-sniffed like
+// ingest), decoded straight into a frame; malformed records are 400,
+// over-cap bodies 413, budget overflows 507 — the same classification
+// as ingest. On a real head movement the store invalidates every cache
+// entry keyed on the superseded head and maintains retained
+// decompositions before the response is written, so a client that
+// appends and immediately queries can never see a stale result from
+// this node.
+func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.requireDatasets(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	d, err := dataset.DecodeDeltaStream(r.Body)
+	if err != nil {
+		writeDatasetError(w, err)
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "append"
+	}
+	res, err := cat.AppendDelta(name, d, source)
+	if err != nil {
+		writeDatasetError(w, err)
+		return
+	}
+	resp := AppendResponse{
+		Dataset:     name,
+		PrevSHA:     res.PrevSHA,
+		HeadSHA:     res.Info.SHA256,
+		Applied:     res.Applied,
+		Inserted:    res.Ins,
+		Removed:     res.Rem,
+		ChainLength: res.Info.ChainLen(),
+	}
+	if res.Applied {
+		m := s.st.ApplyDelta(r.Context(), name, res.PrevSHA, res.Info.SHA256, res.Touched)
+		resp.Maintenance = &m
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompactDataset folds the named dataset's delta chain into a
+// fresh snapshot. Identity is preserved by construction (the snapshot's
+// content address equals the head), so no cache invalidation follows.
+func (s *Server) handleCompactDataset(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.requireDatasets(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	info, compacted, err := cat.Compact(name)
+	if err != nil {
+		writeDatasetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":     name,
+		"compacted":   compacted,
+		"headSha":     info.SHA256,
+		"chainLength": info.ChainLen(),
+	})
 }

@@ -39,6 +39,10 @@ func normalizeRoute(path string) string {
 		return "/v2/datasets/{name}"
 	case len(seg) == 4 && seg[0] == "v2" && seg[1] == "datasets" && seg[3] == "load":
 		return "/v2/datasets/{name}/load"
+	case len(seg) == 4 && seg[0] == "v2" && seg[1] == "datasets" && seg[3] == "append":
+		return "/v2/datasets/{name}/append"
+	case len(seg) == 4 && seg[0] == "v2" && seg[1] == "datasets" && seg[3] == "compact":
+		return "/v2/datasets/{name}/compact"
 	case len(seg) == 3 && seg[0] == "v2" && seg[1] == "blobs":
 		return "/v2/blobs/{sha}"
 	case len(seg) == 3 && seg[0] == "v2" && seg[1] == "cache":

@@ -33,6 +33,10 @@
 //	GET    /v2/datasets/{name} one dataset's record
 //	DELETE /v2/datasets/{name} drop a dataset from the catalog
 //	POST   /v2/datasets/{name}/load  fault a dataset into memory now
+//	POST   /v2/datasets/{name}/append  stream an edge delta onto the
+//	                           dataset's lineage (owner-routed)
+//	POST   /v2/datasets/{name}/compact fold the delta chain into a
+//	                           fresh snapshot (identity preserved)
 //
 //	GET    /v2/blobs           list snapshot content addresses
 //	GET    /v2/blobs/{sha}     stream one snapshot blob
@@ -209,6 +213,8 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/datasets/{name}", s.handleGetDataset)
 	s.mux.HandleFunc("DELETE /v2/datasets/{name}", s.handleDeleteDataset)
 	s.mux.HandleFunc("POST /v2/datasets/{name}/load", s.handleLoadDataset)
+	s.mux.HandleFunc("POST /v2/datasets/{name}/append", s.handleAppendDataset)
+	s.mux.HandleFunc("POST /v2/datasets/{name}/compact", s.handleCompactDataset)
 	bh := s.blobHandler()
 	s.mux.Handle("/v2/blobs", bh)
 	s.mux.Handle("/v2/blobs/", bh)
@@ -282,6 +288,8 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	isDatasetBody := (r.Method == http.MethodPost && r.URL.Path == "/v2/datasets") ||
+		(r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v2/datasets/") &&
+			strings.HasSuffix(r.URL.Path, "/append")) ||
 		(r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v2/blobs/"))
 	if isDatasetBody {
 		if s.cfg.MaxDatasetBytes > 0 {

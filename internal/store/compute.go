@@ -207,6 +207,7 @@ func (s *Store) decomposeWith(ctx context.Context, name string, g *graph.Graph, 
 	}
 	res.MinCluster, res.MaxCluster = clusterSizeExtremes(cl)
 	s.addCost(cl.Metrics)
+	s.retainClustering(name, p, cl)
 	return res, nil
 }
 

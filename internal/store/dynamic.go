@@ -1,0 +1,184 @@
+package store
+
+import (
+	"context"
+	"strings"
+
+	"graphdiam/internal/core"
+	"graphdiam/internal/graph"
+)
+
+// Dynamic-graph maintenance: when a dataset's lineage head moves (an
+// append or a remote adoption of one), every cached artifact keyed on
+// the superseded head is stale — the local result cache, the raw fleet
+// pushes indexed under the old content address, and the registered
+// graph itself. ApplyDelta is the single seam the server calls after
+// the catalog commits an append.
+//
+// Decompositions are maintained incrementally in the scheduling sense,
+// not the splicing sense: the paper's cluster-growing algorithm couples
+// every cluster through global state (the per-stage fraction p depends
+// on |uncovered|, Δ doubles on fleet-wide coverage), so recomputing
+// only the touched clusters and splicing them into the old clustering
+// cannot reproduce the deterministic full run bit for bit. Instead the
+// store keeps the last clustering per (head, params), measures how many
+// clusters a delta actually touched, and when that churn is under
+// Config.ChurnThreshold it eagerly re-runs the full deterministic
+// algorithm on the new head so the cache is warm before the next query
+// — byte-identical to a cold full recompute by construction, with the
+// round/message/update accounting exact for the run that happened. Past
+// the threshold it just invalidates and lets the next query pay.
+
+// MaintenanceResult reports what one head movement did to this node's
+// caches and decompositions.
+type MaintenanceResult struct {
+	// Mode is "none" (no retained decomposition to maintain),
+	// "incremental" (churn under threshold: recomputed eagerly), or
+	// "full" (churn over threshold: invalidated, next query recomputes).
+	Mode string `json:"mode"`
+	// Recomputed counts decompositions re-run eagerly.
+	Recomputed int `json:"recomputed"`
+	// Invalidated counts cache entries dropped (local + fleet-raw).
+	Invalidated int `json:"invalidated"`
+	// TouchedClusters/TotalClusters measure the delta's churn against
+	// the retained clustering with the highest touched fraction.
+	TouchedClusters int `json:"touchedClusters"`
+	TotalClusters   int `json:"totalClusters"`
+}
+
+// retainedClustering is the store's memory of one decomposition run:
+// enough to measure a delta's churn and to replay the exact query.
+type retainedClustering struct {
+	params Params
+	cl     *core.Clustering
+}
+
+// maxRetained bounds the retained-clustering side cache. Entries are
+// small relative to graphs (one int32 per node) but not free.
+const maxRetained = 16
+
+// retainClustering remembers the clustering behind a just-completed
+// decomposition, keyed by the graph's content address + canonical
+// params. Ad-hoc (non-dataset) graphs have no fleet-stable identity and
+// are not retained.
+func (s *Store) retainClustering(name string, p Params, cl *core.Clustering) {
+	if cl == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ge, ok := s.graphs[name]
+	if !ok || ge.sha == "" {
+		return
+	}
+	k := ge.sha + "|" + p.canonical("decompose")
+	if _, exists := s.retained[k]; !exists {
+		s.retainedOrder = append(s.retainedOrder, k)
+		for len(s.retainedOrder) > maxRetained {
+			delete(s.retained, s.retainedOrder[0])
+			s.retainedOrder = s.retainedOrder[1:]
+		}
+	}
+	s.retained[k] = &retainedClustering{params: p, cl: cl}
+}
+
+// ApplyDelta reconciles the store with a dataset whose lineage head
+// moved from prevSHA to newSHA. touched is the distinct vertex set the
+// delta named. It drops every cache entry keyed on the superseded head
+// (so no query can ever see a stale result), deregisters the old graph
+// (the next query faults the new materialization in from the catalog),
+// and maintains retained decompositions per the churn policy above.
+// Safe to call with prevSHA == newSHA (a no-op append): nothing is
+// invalidated.
+func (s *Store) ApplyDelta(ctx context.Context, name, prevSHA, newSHA string, touched []graph.NodeID) MaintenanceResult {
+	res := MaintenanceResult{Mode: "none"}
+	if prevSHA == newSHA || prevSHA == "" {
+		return res
+	}
+	prefix := prevSHA + "|"
+
+	s.mu.Lock()
+	// Deregister the superseded graph and purge its typed results.
+	if ge, ok := s.graphs[name]; ok && ge.sha == prevSHA {
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			if ent := el.Value.(*entry); ent.key.graphID == ge.id {
+				s.removeEntryLocked(el, ent)
+				res.Invalidated++
+			}
+			el = next
+		}
+		delete(s.graphs, name)
+	}
+	// Raw fleet pushes for the old head, regardless of which graph id
+	// (if any) they rode in under.
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*entry); ent.fkey != "" && strings.HasPrefix(ent.fkey, prefix) {
+			s.removeEntryLocked(el, ent)
+			res.Invalidated++
+		}
+		el = next
+	}
+	// Pop the old head's retained decompositions for churn measurement.
+	var stale []*retainedClustering
+	for i := 0; i < len(s.retainedOrder); {
+		k := s.retainedOrder[i]
+		if strings.HasPrefix(k, prefix) {
+			stale = append(stale, s.retained[k])
+			delete(s.retained, k)
+			s.retainedOrder = append(s.retainedOrder[:i], s.retainedOrder[i+1:]...)
+			continue
+		}
+		i++
+	}
+	threshold := s.cfg.ChurnThreshold
+	s.mu.Unlock()
+
+	if len(stale) == 0 {
+		return res
+	}
+	res.Mode = "full"
+	for _, re := range stale {
+		tc, total := touchedClusters(re.cl, touched)
+		if total*res.TouchedClusters <= res.TotalClusters*tc { // keep the highest fraction
+			res.TouchedClusters, res.TotalClusters = tc, total
+		}
+		eager := threshold >= 0 && total > 0 && float64(tc) <= threshold*float64(total)
+		if eager && ctx.Err() == nil {
+			// Re-run the exact query on the new head: the deterministic
+			// full algorithm, so the refreshed cache entry is
+			// byte-identical to what a cold recompute would return.
+			if _, _, err := s.Decompose(ctx, name, re.params); err == nil {
+				res.Recomputed++
+			}
+		}
+	}
+	if res.Recomputed > 0 {
+		res.Mode = "incremental"
+	}
+	s.cfg.Metrics.deltaMaintenance(res.Mode)
+	return res
+}
+
+// touchedClusters counts how many of the clustering's clusters contain
+// a touched vertex. Vertices beyond the old graph (newly inserted
+// endpoints) count as one extra touched cluster — they belong to no
+// existing cluster but force work wherever they land.
+func touchedClusters(cl *core.Clustering, touched []graph.NodeID) (tc, total int) {
+	total = cl.NumClusters()
+	seen := make(map[int32]bool, len(touched))
+	grown := false
+	for _, v := range touched {
+		if int(v) < len(cl.Center) {
+			seen[cl.Center[v]] = true
+		} else {
+			grown = true
+		}
+	}
+	tc = len(seen)
+	if grown {
+		tc++
+	}
+	return tc, total
+}

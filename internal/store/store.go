@@ -66,6 +66,11 @@ type Config struct {
 	// compute-slot pressure, job durations, and BSP engine timings. Nil
 	// leaves every instrumentation site a no-op.
 	Metrics *Metrics
+	// ChurnThreshold is the fraction of a retained decomposition's
+	// clusters a delta may touch before incremental maintenance stops
+	// eagerly recomputing and falls back to lazy invalidation. 0 selects
+	// the default (0.25); negative disables eager recomputes entirely.
+	ChurnThreshold float64
 }
 
 // FleetCache is the store's hook into the fleet-wide result cache. All
@@ -93,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 512
+	}
+	if c.ChurnThreshold == 0 {
+		c.ChurnThreshold = 0.25
 	}
 	return c
 }
@@ -210,12 +218,16 @@ type Store struct {
 	fleetIdx map[string]*list.Element // fleet cache key → LRU element
 	flights  map[key]*flight
 	loads    map[string]*flight // per-name dataset fault-ins in progress
-	ctrs     Counters
-	cost     bsp.Metrics // accumulated metrics of completed computations
-	nextJob  uint64
-	jobs     map[string]*job
-	jobOrder []string // submission order, for terminal-job eviction
-	now      func() time.Time
+	// retained remembers recent clusterings by content address + params
+	// so delta maintenance can measure churn; see dynamic.go.
+	retained      map[string]*retainedClustering
+	retainedOrder []string // insertion order, for bounded eviction
+	ctrs          Counters
+	cost          bsp.Metrics // accumulated metrics of completed computations
+	nextJob       uint64
+	jobs          map[string]*job
+	jobOrder      []string // submission order, for terminal-job eviction
+	now           func() time.Time
 }
 
 // New returns an empty store sized by cfg.
@@ -235,6 +247,7 @@ func New(cfg Config) *Store {
 		fleetIdx:   make(map[string]*list.Element),
 		flights:    make(map[key]*flight),
 		loads:      make(map[string]*flight),
+		retained:   make(map[string]*retainedClustering),
 		jobs:       make(map[string]*job),
 		now:        time.Now,
 	}
